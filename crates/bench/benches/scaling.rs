@@ -1,0 +1,108 @@
+//! T8 — scaling/timing of every mechanism (criterion).
+//!
+//! Run with `cargo bench`. Sizes are chosen so a full run stays in the
+//! minutes range; the polynomial mechanisms scale to hundreds of stations,
+//! the exact MEMT reference is exponential by design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wmcs_bench::harness::{random_euclidean, random_line, random_utilities};
+use wmcs_game::Mechanism;
+use wmcs_mechanisms::{
+    EuclideanSteinerMechanism, UniversalMcMechanism, UniversalShapleyMechanism,
+    WirelessMulticastMechanism,
+};
+use wmcs_wireless::{memt_exact, LineSolver, UniversalTree};
+
+fn universal_shapley(c: &mut Criterion) {
+    let mut g = c.benchmark_group("universal_shapley_mechanism");
+    for &n in &[50usize, 100, 200] {
+        let net = random_euclidean(7, n, 2.0, 40.0);
+        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net));
+        let u = random_utilities(11, n - 1, 300.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mech.run(&u))
+        });
+    }
+    g.finish();
+}
+
+fn universal_mc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("universal_mc_mechanism");
+    for &n in &[50usize, 100, 200] {
+        let net = random_euclidean(8, n, 2.0, 40.0);
+        let mech = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net));
+        let u = random_utilities(12, n - 1, 300.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mech.run(&u))
+        });
+    }
+    g.finish();
+}
+
+fn jv_steiner_mechanism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jv_steiner_mechanism");
+    for &n in &[20usize, 40, 80] {
+        let net = random_euclidean(9, n, 2.0, 20.0);
+        let mech = EuclideanSteinerMechanism::new(net);
+        let u = random_utilities(13, n - 1, 100.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mech.run(&u))
+        });
+    }
+    g.finish();
+}
+
+fn wireless_mechanism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wireless_multicast_mechanism");
+    g.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let net = random_euclidean(10, n, 2.0, 8.0);
+        let mech = WirelessMulticastMechanism::new(net);
+        let u = random_utilities(14, n - 1, 60.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mech.run(&u))
+        });
+    }
+    g.finish();
+}
+
+fn exact_memt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memt_exact");
+    g.sample_size(10);
+    for &n in &[10usize, 13, 16] {
+        let net = random_euclidean(15, n, 2.0, 10.0);
+        let targets: Vec<usize> = (1..n).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| memt_exact(&net, &targets))
+        });
+    }
+    g.finish();
+}
+
+fn line_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_chain_solver");
+    for &n in &[100usize, 400] {
+        let net = random_line(16, n, 2.0, 200.0);
+        let solver = LineSolver::new(net.clone());
+        let targets: Vec<usize> = (0..n).filter(|&x| x != net.source()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solver.solve(&targets))
+        });
+    }
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = universal_shapley, universal_mc, jv_steiner_mechanism,
+              wireless_mechanism, exact_memt, line_solver
+}
+criterion_main!(benches);

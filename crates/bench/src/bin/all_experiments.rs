@@ -1,0 +1,20 @@
+//! Run every experiment back to back (the full EXPERIMENTS.md record).
+//! Optional arg: seeds per cell for the statistical tables (default 20).
+use wmcs_bench::experiments as ex;
+
+fn main() {
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    ex::f1::run().emit();
+    ex::f2::run().emit();
+    ex::t1::run(seeds).emit();
+    ex::t2::run(seeds).emit();
+    ex::t3::run(seeds).emit();
+    ex::t4::run(seeds).emit();
+    ex::t5::run(seeds).emit();
+    ex::t6::run(seeds).emit();
+    ex::t7::run(seeds).emit();
+    ex::t9::run(seeds).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate experiment F1 (see EXPERIMENTS.md).
+fn main() {
+    wmcs_bench::experiments::f1::run().emit();
+}

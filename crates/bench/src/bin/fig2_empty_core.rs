@@ -1,0 +1,4 @@
+//! Regenerate experiment F2 (see EXPERIMENTS.md).
+fn main() {
+    wmcs_bench::experiments::f2::run().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerate experiment T3 (see EXPERIMENTS.md). Optional arg: seeds per cell.
+fn main() {
+    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    wmcs_bench::experiments::t3::run(seeds).emit();
+}

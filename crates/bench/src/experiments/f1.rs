@@ -1,0 +1,55 @@
+//! F1 — Fig. 1 / §2.2.2 worked example: the NWST mechanism is
+//! strategyproof but not group strategyproof.
+
+use crate::harness::Table;
+use wmcs_game::{find_group_deviation, find_unilateral_deviation, Mechanism};
+use wmcs_mechanisms::{fig1_instance, NwstCostSharingMechanism};
+
+/// Run F1 and return the paper-vs-measured table.
+pub fn run() -> Table {
+    let (graph, terminals, u) = fig1_instance();
+    let mech = NwstCostSharingMechanism::new(graph, terminals);
+    let names = ["x1", "x5", "x6", "x7"];
+
+    let mut t = Table::new(
+        "F1",
+        "Fig. 1 collusion (NWST mechanism, §2.2.2)",
+        "truthful welfares (3/2, 3/2, 3/2, 0); after x7 reports 3/2−ε: (5/3, 5/3, 5/3, 0)",
+        &["agent", "paper w(u)", "measured w(u)", "paper w(v)", "measured w(v)"],
+    );
+
+    let truthful = mech.run(&u);
+    let mut v = u.clone();
+    v[3] = 1.5 - 0.3;
+    let colluded = mech.run(&v);
+    let paper_truth = [1.5, 1.5, 1.5, 0.0];
+    let paper_coll = [5.0 / 3.0, 5.0 / 3.0, 5.0 / 3.0, 0.0];
+    let mut all_match = true;
+    for p in 0..4 {
+        let wt = truthful.welfare(p, &u);
+        let wc = colluded.welfare(p, &u);
+        all_match &= (wt - paper_truth[p]).abs() < 1e-9 && (wc - paper_coll[p]).abs() < 1e-9;
+        t.push_row(vec![
+            names[p].to_string(),
+            format!("{:.4}", paper_truth[p]),
+            format!("{wt:.4}"),
+            format!("{:.4}", paper_coll[p]),
+            format!("{wc:.4}"),
+        ]);
+    }
+
+    let sp = find_unilateral_deviation(&mech, &u, 1e-7).is_none();
+    let gsp_broken = find_group_deviation(&mech, &u, 4, 1e-7).is_some();
+    t.verdict = format!(
+        "welfares {} paper; strategyproof: {}; group deviation found: {} — {}",
+        if all_match { "MATCH" } else { "DIFFER from" },
+        sp,
+        gsp_broken,
+        if all_match && sp && gsp_broken {
+            "Fig. 1 reproduced exactly"
+        } else {
+            "MISMATCH"
+        }
+    );
+    t
+}

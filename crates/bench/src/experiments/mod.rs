@@ -1,0 +1,13 @@
+//! One module per experiment in `EXPERIMENTS.md` (per-experiment index in
+//! `DESIGN.md` §4). Each exposes `run(…) -> Table`.
+
+pub mod f1;
+pub mod f2;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;
+pub mod t6;
+pub mod t7;
+pub mod t9;

@@ -1,0 +1,123 @@
+//! T1 — Lemma 2.1 + §2.1 mechanisms on universal trees: submodularity,
+//! exact budget balance of Shapley, efficiency of MC, group
+//! strategyproofness.
+
+use crate::harness::{parallel_map_seeds, random_euclidean, random_utilities, Table};
+use wmcs_game::{
+    find_group_deviation, find_unilateral_deviation, is_nondecreasing, is_submodular,
+    CostFunction, ExplicitGame,
+};
+use wmcs_mechanisms::{UniversalMcMechanism, UniversalShapleyMechanism};
+use wmcs_wireless::{UniversalTree, UniversalTreeCost};
+
+struct Row {
+    n: usize,
+    kind: &'static str,
+    submodular: bool,
+    monotone: bool,
+    max_bb_err: f64,
+    mc_efficiency: f64,
+    deviations: usize,
+}
+
+fn one(seed: u64, n: usize, use_mst: bool) -> Row {
+    let net = random_euclidean(seed, n, 2.0, 10.0);
+    let ut = if use_mst {
+        UniversalTree::mst_tree(net)
+    } else {
+        UniversalTree::shortest_path_tree(net)
+    };
+    let cost = UniversalTreeCost::new(ut.clone());
+    let game = ExplicitGame::tabulate(&cost);
+    let submodular = is_submodular(&game);
+    let monotone = is_nondecreasing(&game);
+
+    // Shapley budget balance over all coalitions: max |Σφ − C(R)|.
+    let players = game.n_players();
+    let mut max_bb_err = 0.0f64;
+    for mask in 0u64..(1 << players) {
+        let stations = ut.network().stations_of_player_mask(mask);
+        let shares = ut.shapley_shares(&stations);
+        let sum: f64 = shares.iter().sum();
+        max_bb_err = max_bb_err.max((sum - game.cost_mask(mask)).abs());
+    }
+
+    // MC efficiency: DP net worth vs brute-force optimum.
+    let u = random_utilities(seed ^ 0x515, players, 25.0);
+    let mc = UniversalMcMechanism::new(ut.clone());
+    let dp = mc.net_worth(&u);
+    let mut brute = 0.0f64;
+    for mask in 0u64..(1 << players) {
+        let util: f64 = (0..players)
+            .filter(|&p| mask & (1 << p) != 0)
+            .map(|p| u[p])
+            .sum();
+        brute = brute.max(util - game.cost_mask(mask));
+    }
+    let mc_efficiency = if brute > 0.0 { dp / brute } else { 1.0 };
+
+    // Deviation sweeps on the Shapley mechanism.
+    let sh = UniversalShapleyMechanism::new(ut);
+    let mut deviations = 0;
+    if find_unilateral_deviation(&sh, &u, 1e-7).is_some() {
+        deviations += 1;
+    }
+    if players <= 6 && find_group_deviation(&sh, &u, 2, 1e-7).is_some() {
+        deviations += 1;
+    }
+    Row {
+        n,
+        kind: if use_mst { "mst" } else { "spt" },
+        submodular,
+        monotone,
+        max_bb_err,
+        mc_efficiency,
+        deviations,
+    }
+}
+
+/// Run T1.
+pub fn run(seeds_per_cell: u64) -> Table {
+    let mut t = Table::new(
+        "T1",
+        "universal trees (Lemma 2.1 + §2.1)",
+        "C_T submodular & monotone; Shapley exactly BB; MC efficient; M(Shapley) group-SP",
+        &[
+            "n",
+            "tree",
+            "seeds",
+            "submodular",
+            "monotone",
+            "max |Σφ−C|",
+            "MC efficiency",
+            "deviations",
+        ],
+    );
+    let mut all_good = true;
+    for &(n, use_mst) in &[(6usize, false), (6, true), (8, false), (8, true), (10, false)] {
+        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 37 + n as u64).collect();
+        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, use_mst));
+        let submod = rows.iter().all(|r| r.submodular);
+        let mono = rows.iter().all(|r| r.monotone);
+        let bb = rows.iter().map(|r| r.max_bb_err).fold(0.0, f64::max);
+        let eff_min = rows.iter().map(|r| r.mc_efficiency).fold(f64::INFINITY, f64::min);
+        let devs: usize = rows.iter().map(|r| r.deviations).sum();
+        all_good &= submod && mono && bb < 1e-6 && (eff_min - 1.0).abs() < 1e-6 && devs == 0;
+        t.push_row(vec![
+            rows[0].n.to_string(),
+            rows[0].kind.to_string(),
+            seeds.len().to_string(),
+            submod.to_string(),
+            mono.to_string(),
+            format!("{bb:.2e}"),
+            format!("{eff_min:.6}"),
+            devs.to_string(),
+        ]);
+    }
+    t.verdict = if all_good {
+        "Lemma 2.1 and both §2.1 mechanisms reproduce exactly".into()
+    } else {
+        "MISMATCH".into()
+    };
+    t
+}

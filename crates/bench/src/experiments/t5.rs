@@ -1,0 +1,109 @@
+//! T5 — Lemma 3.3 breadth: how often does the *exact* optimal multicast
+//! cost function violate submodularity on random instances? (The paper
+//! shows existence via the pentagon; this measures prevalence, including
+//! the d = 1 violations found during reproduction.)
+
+use crate::harness::{parallel_map_seeds, random_euclidean, random_line, Table};
+use wmcs_game::submodularity_violation;
+use wmcs_geom::{Point, PowerModel};
+use wmcs_wireless::{OptimalMulticastCost, WirelessNetwork};
+
+/// The pinned d = 1, α = 3 witness discovered during reproduction (also a
+/// unit test in `wmcs-wireless::euclidean::line`).
+fn pinned_line_witness_violates() -> bool {
+    let xs = [
+        4.356527190351707,
+        10.674030597699709,
+        11.832764036637853,
+        12.31465918377987, // source
+        13.693364483533603,
+        17.943075984877368,
+    ];
+    let pts: Vec<Point> = xs.iter().map(|&x| Point::on_line(x)).collect();
+    let net = WirelessNetwork::euclidean(pts, PowerModel::with_alpha(3.0), 3);
+    let c = OptimalMulticastCost::new(net);
+    submodularity_violation(&c).is_some()
+}
+
+fn violated_2d(seed: u64, n: usize, alpha: f64) -> bool {
+    let net = random_euclidean(seed, n, alpha, 20.0);
+    let c = OptimalMulticastCost::new(net);
+    submodularity_violation(&c).is_some()
+}
+
+fn violated_line(seed: u64, n: usize, alpha: f64) -> bool {
+    let net = random_line(seed, n, alpha, 20.0);
+    let c = OptimalMulticastCost::new(net);
+    submodularity_violation(&c).is_some()
+}
+
+/// Run T5.
+pub fn run(seeds_per_cell: u64) -> Table {
+    let mut t = Table::new(
+        "T5",
+        "submodularity violations of the exact C*",
+        "Lemma 3.3: violations exist for α>1, d>1 (pentagon); we also measure d=1 \
+         (paper claims none — reproduction found them, DESIGN.md §3a) and α=1 (provably none)",
+        &["case", "instances", "violations", "rate"],
+    );
+    type Cell<'a> = (&'a str, Box<dyn Fn(u64) -> bool + Sync>);
+    let cells: Vec<Cell> = vec![
+        (
+            "d=2, α=2, n=7",
+            Box::new(|s| violated_2d(s, 7, 2.0)),
+        ),
+        (
+            "d=2, α=4, n=7",
+            Box::new(|s| violated_2d(s, 7, 4.0)),
+        ),
+        (
+            "d=1, α=2, n=7",
+            Box::new(|s| violated_line(s, 7, 2.0)),
+        ),
+        (
+            "d=1, α=3, n=7",
+            Box::new(|s| violated_line(s, 7, 3.0)),
+        ),
+        (
+            "d=2, α=1, n=7",
+            Box::new(|s| violated_2d(s, 7, 1.0)),
+        ),
+    ];
+    let mut alpha_one_clean = true;
+    let mut line_violations = 0usize;
+    for (name, f) in &cells {
+        let seeds: Vec<u64> = (0..seeds_per_cell).collect();
+        let hits = parallel_map_seeds(&seeds, f)
+            .into_iter()
+            .filter(|&v| v)
+            .count();
+        if name.starts_with("d=2, α=1") {
+            alpha_one_clean = hits == 0;
+        }
+        if name.starts_with("d=1") {
+            line_violations += hits;
+        }
+        t.push_row(vec![
+            name.to_string(),
+            seeds.len().to_string(),
+            hits.to_string(),
+            format!("{:.1}%", 100.0 * hits as f64 / seeds.len() as f64),
+        ]);
+    }
+    let pinned = pinned_line_witness_violates();
+    t.push_row(vec![
+        "d=1, α=3 (pinned witness)".into(),
+        "1".into(),
+        usize::from(pinned).to_string(),
+        if pinned { "100.0%" } else { "0.0%" }.into(),
+    ]);
+    t.verdict = format!(
+        "α=1 never violates ({}); α>1 violations are common for d=2 and exist — contrary to \
+         Lemma 3.1(d=1) — on the line too (random rate ~1/1000; {} random hits here, pinned \
+         witness {})",
+        if alpha_one_clean { "as proved" } else { "UNEXPECTED VIOLATION" },
+        line_violations,
+        if pinned { "reproduces" } else { "FAILED" }
+    );
+    t
+}

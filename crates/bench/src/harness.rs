@@ -1,0 +1,192 @@
+//! Shared harness: table rendering, random-instance builders and a
+//! crossbeam-based parallel seed sweep (coarse-grained data parallelism —
+//! one independent instance per task — per the hpc-parallel guide).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wmcs_geom::{Point, PowerModel};
+use wmcs_nwst::NodeWeightedGraph;
+use wmcs_wireless::WirelessNetwork;
+
+/// A printable experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. "T2").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper's claim being validated.
+    pub claim: &'static str,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict (filled by the experiment).
+    pub verdict: String,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        claim: &'static str,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            id,
+            title,
+            claim,
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+            verdict: String::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Emit to stdout: JSON when `--json` was passed on the command line,
+    /// the aligned-column rendering otherwise.
+    pub fn emit(&self) {
+        if std::env::args().any(|a| a == "--json") {
+            println!("{}", self.to_json());
+        } else {
+            self.print();
+        }
+    }
+
+    /// Serialise the table (columns, rows, verdict) as a JSON object for
+    /// downstream tooling.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables are serialisable")
+    }
+
+    /// Render to stdout in aligned columns.
+    pub fn print(&self) {
+        println!("== {}: {} ==", self.id, self.title);
+        println!("paper claim: {}", self.claim);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| {
+            let mut line = String::from("| ");
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!("{cell:>w$} | ", w = w));
+            }
+            line
+        };
+        println!("{}", render(&self.columns));
+        println!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            println!("{}", render(row));
+        }
+        println!("verdict: {}\n", self.verdict);
+    }
+}
+
+/// Map a function over seeds in parallel with crossbeam scoped threads.
+/// Results come back in seed order.
+pub fn parallel_map_seeds<R: Send>(
+    seeds: &[u64],
+    f: impl Fn(u64) -> R + Sync,
+) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    if threads <= 1 || seeds.len() <= 1 {
+        return seeds.iter().map(|&s| f(s)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(seeds.len());
+    out.resize_with(seeds.len(), || None);
+    let chunk = seeds.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
+                    *slot = Some(f(seed));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Random 2-D Euclidean network, source 0.
+pub fn random_euclidean(seed: u64, n: usize, alpha: f64, side: f64) -> WirelessNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::xy(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    WirelessNetwork::euclidean(pts, PowerModel::with_alpha(alpha), 0)
+}
+
+/// Random d-dimensional Euclidean network, source 0.
+pub fn random_euclidean_d(seed: u64, n: usize, d: usize, alpha: f64, side: f64) -> WirelessNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..side)).collect()))
+        .collect();
+    WirelessNetwork::euclidean(pts, PowerModel::with_alpha(alpha), 0)
+}
+
+/// Random sorted line network with a middle source.
+pub fn random_line(seed: u64, n: usize, alpha: f64, length: f64) -> WirelessNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..length)).collect();
+    xs.sort_by(f64::total_cmp);
+    let pts: Vec<Point> = xs.into_iter().map(Point::on_line).collect();
+    let source = rng.gen_range(0..n);
+    WirelessNetwork::euclidean(pts, PowerModel::with_alpha(alpha), source)
+}
+
+/// Random node-weighted graph: ring + chords, `k` zero-weight terminals
+/// spread evenly around the ring (adjacent zero-weight terminals would
+/// make the optimum trivially 0).
+pub fn random_nwst(seed: u64, n: usize, k: usize) -> (NodeWeightedGraph, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let terminals: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|v| {
+            if terminals.contains(&v) {
+                0.0
+            } else {
+                rng.gen_range(0.2..5.0)
+            }
+        })
+        .collect();
+    let mut g = NodeWeightedGraph::new(weights);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n);
+    }
+    for _ in 0..n {
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if a != b && !(terminals.contains(&a) && terminals.contains(&b)) {
+            g.add_edge(a, b);
+        }
+    }
+    (g, terminals)
+}
+
+/// Random utility profile in `[0, hi)`.
+pub fn random_utilities(seed: u64, n: usize, hi: f64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..hi)).collect()
+}

@@ -1,0 +1,21 @@
+//! # wmcs-bench — benchmark & experiment harness
+//!
+//! Regenerates every figure and theorem-backed claim of the paper
+//! (per-experiment index in `DESIGN.md` §4, results recorded in
+//! `EXPERIMENTS.md`):
+//!
+//! * table binaries: `fig1_collusion`, `fig2_empty_core`,
+//!   `table_universal_tree` (T1), `table_nwst_bb` (T2),
+//!   `table_wireless_bb` (T3), `table_euclidean_optimal` (T4),
+//!   `table_submodularity_violations` (T5), `table_mst_ratio` (T6),
+//!   `table_jv_bb` (T7), and `all_experiments` to run the lot;
+//! * criterion benches (`cargo bench`): timing/scaling of every
+//!   mechanism and substrate (T8).
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{
+    parallel_map_seeds, random_euclidean, random_euclidean_d, random_line, random_nwst,
+    random_utilities, Table,
+};

@@ -1,0 +1,188 @@
+//! The paper's two counterexample instances.
+//!
+//! * [`fig1_instance`] — the §2.2.2 worked example (paper Fig. 1): the
+//!   NWST mechanism is strategyproof but **not group strategyproof**. The
+//!   published figure is not fully specified in the text, so the instance
+//!   here is reconstructed from the worked example's numbers; the
+//!   regenerated run matches every number the paper reports (ratios 1,
+//!   3/2 and 4/3; truthful welfares (3/2, 3/2, 3/2, 0); collusion
+//!   welfares (5/3, 5/3, 5/3, 0)).
+//! * [`PentagonInstance`] — the Lemma 3.3 construction (paper Fig. 2):
+//!   for `α > 1, d > 1` the optimal multicast cost function can have an
+//!   **empty core**. Following the paper's own asymptotic reduction
+//!   ("only the source and the internal stations can have power > 1 …
+//!   contribution negligible"), the instance is the 11-node abstract chain
+//!   graph whose edge weights are the relay-chain lengths; `C*` is its
+//!   edge-weighted Steiner tree cost (exact, via Dreyfus–Wagner).
+
+use wmcs_game::ExplicitGame;
+use wmcs_graph::{dreyfus_wagner_cost, CostMatrix};
+use wmcs_nwst::NodeWeightedGraph;
+
+/// The Fig. 1 NWST instance: returns the node-weighted graph, the terminal
+/// nodes in the order (t1, t5, t6, t7), and the paper's true utilities
+/// (3, 3, 3, 3/2).
+///
+/// Layout (node ids): `0..=3` are the terminals `t1, t5, t6, t7` (weight
+/// 0); `4 = A` and `5 = B` (weight 3) are the twin spider centres `Sp2`,
+/// `Sp3` adjacent to `{t1, t5, t7}`; `6 = C` (weight 3) is the
+/// "1 → 4 → 6" path node adjacent to `{t1, t6}`; `7 = D` (weight 4) is
+/// the `Sp1` centre adjacent to `{t1, t5, t6}`.
+pub fn fig1_instance() -> (NodeWeightedGraph, Vec<usize>, Vec<f64>) {
+    let mut g = NodeWeightedGraph::new(vec![0.0, 0.0, 0.0, 0.0, 3.0, 3.0, 3.0, 4.0]);
+    for hub in [4usize, 5] {
+        g.add_edge(hub, 0); // t1
+        g.add_edge(hub, 1); // t5
+        g.add_edge(hub, 3); // t7
+    }
+    g.add_edge(6, 0); // C - t1
+    g.add_edge(6, 2); // C - t6
+    g.add_edge(7, 0); // D - t1
+    g.add_edge(7, 1); // D - t5
+    g.add_edge(7, 2); // D - t6
+    (g, vec![0, 1, 2, 3], vec![3.0, 3.0, 3.0, 1.5])
+}
+
+/// The Fig. 2 pentagon instance at scale `m`: the abstract chain graph.
+///
+/// Nodes: `0 = s` (source), `1..=5` the internal stations `y_0..y_4`,
+/// `6..=10` the external stations `x_0..x_4`. Edge weights are chain
+/// lengths (`m` for `s–x_j`, `m/2` for `s–y_j`, and the internal↔external
+/// geometric distance `m·√(5/4 − cos 36°) ≈ 0.664 m` for each `y_j` and
+/// its two adjacent externals).
+#[derive(Debug, Clone)]
+pub struct PentagonInstance {
+    /// The abstract edge-weighted graph.
+    pub matrix: CostMatrix,
+    /// Source node id (0).
+    pub source: usize,
+    /// External station node ids (the 5 players).
+    pub externals: Vec<usize>,
+    /// Scale parameter m.
+    pub m: f64,
+}
+
+impl PentagonInstance {
+    /// Build at scale `m` (the asymptotic argument holds for every
+    /// `m > 0` in the abstract graph; `m` only scales the costs).
+    pub fn new(m: f64) -> Self {
+        assert!(m > 0.0);
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        // Internal–external distance: |y_j − x_i| for adjacent corners,
+        // with |y| = m/2, |x| = m and 36° between them.
+        let iext = m * (1.25 - (std::f64::consts::PI / 5.0).cos()).sqrt();
+        for j in 0..5usize {
+            let y = 1 + j;
+            let x_a = 6 + j;
+            let x_b = 6 + ((j + 1) % 5);
+            edges.push((0, y, m / 2.0));
+            edges.push((0, x_a, m));
+            edges.push((y, x_a, iext));
+            edges.push((y, x_b, iext));
+        }
+        let matrix = CostMatrix::from_edges(11, &edges);
+        Self {
+            matrix,
+            source: 0,
+            externals: (6..11).collect(),
+            m,
+        }
+    }
+
+    /// `C*(R)` for a set of players (externals indexed 0..5): the exact
+    /// edge-weighted Steiner tree connecting the source to them.
+    pub fn optimal_cost(&self, players: &[usize]) -> f64 {
+        if players.is_empty() {
+            return 0.0;
+        }
+        let mut terminals: Vec<usize> = vec![self.source];
+        terminals.extend(players.iter().map(|&p| self.externals[p]));
+        dreyfus_wagner_cost(&self.matrix, &terminals)
+    }
+
+    /// The cost game over the 5 external players (tabulated).
+    pub fn cost_game(&self) -> ExplicitGame {
+        ExplicitGame::from_fn(5, |mask| {
+            let players: Vec<usize> = (0..5).filter(|&p| mask & (1 << p) != 0).collect();
+            self.optimal_cost(&players)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_game::{core_is_empty, is_submodular, submodularity_violation};
+    use wmcs_geom::approx_eq;
+
+    #[test]
+    fn pentagon_single_external_is_direct_line() {
+        let inst = PentagonInstance::new(10.0);
+        // One external: straight chain of length m beats the detour
+        // m/2 + 0.664 m.
+        assert!(approx_eq(inst.optimal_cost(&[0]), 10.0));
+    }
+
+    #[test]
+    fn pentagon_adjacent_pair_routes_through_internal() {
+        let inst = PentagonInstance::new(10.0);
+        let iext = 10.0 * (1.25 - (std::f64::consts::PI / 5.0).cos()).sqrt();
+        // Adjacent externals x_0, x_1 share internal y_1 (node 2):
+        // m/2 + 2·iext ≈ 18.28 < 2 m = 20.
+        let expect = 5.0 + 2.0 * iext;
+        assert!(approx_eq(inst.optimal_cost(&[0, 1]), expect));
+    }
+
+    #[test]
+    fn pentagon_full_set_uses_two_internals_plus_direct() {
+        let inst = PentagonInstance::new(10.0);
+        let iext = 10.0 * (1.25 - (std::f64::consts::PI / 5.0).cos()).sqrt();
+        // Lemma 3.3's optimal structure: two adjacent pairs via internals,
+        // one external direct.
+        let expect = 2.0 * (5.0 + 2.0 * iext) + 10.0;
+        assert!(approx_eq(inst.optimal_cost(&[0, 1, 2, 3, 4]), expect));
+    }
+
+    #[test]
+    fn lemma_3_3_core_is_empty() {
+        let inst = PentagonInstance::new(10.0);
+        let game = inst.cost_game();
+        assert!(core_is_empty(&game), "the pentagon core must be empty");
+        // …hence the cost function cannot be submodular either (§1.1).
+        assert!(!is_submodular(&game));
+        assert!(submodularity_violation(&game).is_some());
+    }
+
+    #[test]
+    fn paper_inequalities_hold() {
+        // C*({x_j}) > C*(R)/5 and C*({x_0, x_1}) < 2 C*(R)/5 — the two
+        // facts the paper's symmetry argument needs.
+        let inst = PentagonInstance::new(10.0);
+        let full = inst.optimal_cost(&[0, 1, 2, 3, 4]);
+        for p in 0..5 {
+            assert!(inst.optimal_cost(&[p]) > full / 5.0 + 1e-9);
+        }
+        assert!(inst.optimal_cost(&[0, 1]) < 2.0 * full / 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // The abstract graph scales linearly in m, so emptiness is
+        // scale-free.
+        for m in [1.0, 42.0, 1000.0] {
+            let inst = PentagonInstance::new(m);
+            assert!(core_is_empty(&inst.cost_game()), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn fig1_graph_shape() {
+        let (g, terminals, utilities) = fig1_instance();
+        assert_eq!(g.len(), 8);
+        assert_eq!(terminals, vec![0, 1, 2, 3]);
+        assert_eq!(utilities, vec![3.0, 3.0, 3.0, 1.5]);
+        for &t in &terminals {
+            assert_eq!(g.weight(t), 0.0);
+        }
+    }
+}

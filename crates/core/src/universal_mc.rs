@@ -1,0 +1,171 @@
+//! The universal-tree marginal-cost (MC/VCG) mechanism (§2.1): efficient
+//! and strategyproof (not group strategyproof).
+//!
+//! Receiver selection maximises net worth via the `O(n)` bottom-up tree DP
+//! (`UniversalTree::largest_efficient_set`); payments are the VCG
+//! externalities `c_i = u_i − (NW(u) − NW(u_{-i}))`, equal under
+//! submodularity to the paper's form (3).
+
+use wmcs_game::{Mechanism, MechanismOutcome};
+use wmcs_wireless::UniversalTree;
+
+/// The MC mechanism over a universal broadcast tree.
+#[derive(Debug, Clone)]
+pub struct UniversalMcMechanism {
+    tree: UniversalTree,
+}
+
+impl UniversalMcMechanism {
+    /// Wrap a universal tree.
+    pub fn new(tree: UniversalTree) -> Self {
+        Self { tree }
+    }
+
+    /// The universal tree in use.
+    pub fn universal_tree(&self) -> &UniversalTree {
+        &self.tree
+    }
+
+    /// Net worth achieved on a reported profile (`NW(u)`).
+    pub fn net_worth(&self, reported: &[f64]) -> f64 {
+        self.tree.net_worth(&self.utilities_by_station(reported))
+    }
+
+    fn utilities_by_station(&self, reported: &[f64]) -> Vec<f64> {
+        let net = self.tree.network();
+        let mut u = vec![0.0; net.n_stations()];
+        for (p, &v) in reported.iter().enumerate() {
+            u[net.station_of_player(p)] = v;
+        }
+        u
+    }
+}
+
+impl Mechanism for UniversalMcMechanism {
+    fn n_players(&self) -> usize {
+        self.tree.network().n_players()
+    }
+
+    fn run(&self, reported: &[f64]) -> MechanismOutcome {
+        let net = self.tree.network();
+        let n = self.n_players();
+        assert_eq!(reported.len(), n);
+        let u = self.utilities_by_station(reported);
+        let (stations, nw) = self.tree.largest_efficient_set(&u);
+        let mut shares = vec![0.0; n];
+        let receivers: Vec<usize> = stations
+            .iter()
+            .filter_map(|&x| net.player_of_station(x))
+            .collect();
+        for &p in &receivers {
+            let mut u_minus = u.clone();
+            u_minus[net.station_of_player(p)] = 0.0;
+            let nw_minus = self.tree.net_worth(&u_minus);
+            shares[p] = (reported[p] - (nw - nw_minus)).max(0.0);
+        }
+        let served_cost = self.tree.multicast_cost(&stations);
+        MechanismOutcome {
+            receivers,
+            shares,
+            served_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_game::{
+        find_unilateral_deviation, verify_no_positive_transfers,
+        verify_voluntary_participation,
+    };
+    use wmcs_geom::{Point, PowerModel};
+    use wmcs_wireless::WirelessNetwork;
+
+    fn mechanism(seed: u64, n: usize) -> UniversalMcMechanism {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
+            .collect();
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net))
+    }
+
+    #[test]
+    fn efficiency_dominates_moulin_shenker_outcomes() {
+        // The MC mechanism's net worth is maximal by construction: compare
+        // against the welfare of a few arbitrary receiver sets.
+        let m = mechanism(1, 7);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let u: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let nw = m.net_worth(&u);
+        let net = m.universal_tree().network();
+        for mask in 0u64..(1 << 6) {
+            let stations: Vec<usize> = (0..6)
+                .filter(|&p| mask & (1 << p) != 0)
+                .map(|p| net.station_of_player(p))
+                .collect();
+            let util: f64 = (0..6)
+                .filter(|&p| mask & (1 << p) != 0)
+                .map(|p| u[p])
+                .sum();
+            let w = util - m.universal_tree().multicast_cost(&stations);
+            assert!(nw >= w - 1e-9, "mask {mask:b} beats the DP");
+        }
+    }
+
+    #[test]
+    fn never_collects_more_than_cost() {
+        // MC runs deficits, not surpluses (§1.1).
+        for seed in 0..6 {
+            let m = mechanism(seed, 6);
+            let mut rng = SmallRng::seed_from_u64(seed + 50);
+            let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..20.0)).collect();
+            let out = m.run(&u);
+            assert!(out.revenue() <= out.served_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn strategyproof_empirically() {
+        for seed in 0..6 {
+            let m = mechanism(seed, 6);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x11);
+            let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..15.0)).collect();
+            assert!(
+                find_unilateral_deviation(&m, &u, 1e-7).is_none(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn axioms_npt_vp() {
+        let m = mechanism(9, 6);
+        for u in [vec![5.0; 5], vec![0.0, 9.0, 0.0, 9.0, 0.0]] {
+            let out = m.run(&u);
+            assert!(verify_no_positive_transfers(&out));
+            assert!(verify_voluntary_participation(&out, &u));
+        }
+    }
+
+    #[test]
+    fn free_riders_pay_zero() {
+        // A player whose removal does not change the efficient set's cost
+        // pays 0 (its externality is its own utility contribution).
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(2.0, 0.0),
+        ];
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let m = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net));
+        // Player 1 (station 2) drives the cost; player 0 (station 1) rides
+        // along the chain for free.
+        let out = m.run(&[0.5, 100.0]);
+        assert!(out.is_receiver(0));
+        assert!(out.shares[0] < 1e-9);
+        assert!(out.shares[1] > 0.0);
+    }
+}

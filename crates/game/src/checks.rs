@@ -1,0 +1,205 @@
+//! Structural-property checkers for cost functions and sharing methods.
+//!
+//! The paper's Eqs. (1)–(2) define non-decreasingness and submodularity;
+//! cross-monotonicity is the Moulin–Shenker condition enabling group
+//! strategyproof budget-balanced mechanisms (§1.1). These checkers are
+//! *exhaustive* (exponential, for the small instances the theory is tested
+//! on) and return witnesses, which the experiment tables print.
+
+use crate::cost::CostFunction;
+use crate::method::CostSharingMethod;
+use crate::subset::{contains, members_of};
+use wmcs_geom::EPS;
+
+/// Witness of a submodularity violation: coalitions `q ⊆ r` and players
+/// `i, j ∉ r` with `C(r∪i) + C(r∪j) < C(r∪i∪j) + C(r)` (the equivalent
+/// local characterisation of Eq. (2)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmodularityViolation {
+    /// Base coalition mask.
+    pub base: u64,
+    /// First added player.
+    pub i: usize,
+    /// Second added player.
+    pub j: usize,
+    /// Magnitude `C(r∪i∪j) + C(r) − C(r∪i) − C(r∪j) > 0`.
+    pub gap: f64,
+}
+
+/// True if `C` is non-decreasing: adding a player never lowers the cost
+/// (Eq. (1)).
+pub fn is_nondecreasing(c: &impl CostFunction) -> bool {
+    let n = c.n_players();
+    for mask in 0u64..(1 << n) {
+        let base = c.cost_mask(mask);
+        for i in 0..n {
+            if !contains(mask, i) && c.cost_mask(mask | (1 << i)) < base - EPS {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Find a submodularity violation, if any (Eq. (2), local form).
+pub fn submodularity_violation(c: &impl CostFunction) -> Option<SubmodularityViolation> {
+    let n = c.n_players();
+    for mask in 0u64..(1 << n) {
+        let c_r = c.cost_mask(mask);
+        for i in 0..n {
+            if contains(mask, i) {
+                continue;
+            }
+            let c_ri = c.cost_mask(mask | (1 << i));
+            for j in (i + 1)..n {
+                if contains(mask, j) {
+                    continue;
+                }
+                let c_rj = c.cost_mask(mask | (1 << j));
+                let c_rij = c.cost_mask(mask | (1 << i) | (1 << j));
+                let gap = c_rij + c_r - c_ri - c_rj;
+                if gap > EPS * (1.0 + c_rij.abs()) {
+                    return Some(SubmodularityViolation {
+                        base: mask,
+                        i,
+                        j,
+                        gap,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True if `C` is submodular (Eq. (2)).
+pub fn is_submodular(c: &impl CostFunction) -> bool {
+    submodularity_violation(c).is_none()
+}
+
+/// Witness of a cross-monotonicity violation: `q ⊆ r` and a player
+/// `i ∈ q` whose share *increased* when the coalition grew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossMonotonicityViolation {
+    /// Smaller coalition.
+    pub small: u64,
+    /// Larger coalition.
+    pub large: u64,
+    /// Player whose share rose.
+    pub player: usize,
+    /// Share in the smaller coalition.
+    pub share_small: f64,
+    /// Share in the larger coalition.
+    pub share_large: f64,
+}
+
+/// Exhaustively search for a cross-monotonicity violation of a sharing
+/// method: `ξ(Q, i) ≥ ξ(R, i)` must hold whenever `Q ⊆ R ∋ i`.
+///
+/// To keep the check `O(3^n)` rather than `O(4^n)`, only pairs
+/// `(R \ {j}, R)` are compared — local monotonicity along single-player
+/// extensions implies the general property by induction along any chain
+/// `Q ⊆ … ⊆ R`.
+pub fn cross_monotonicity_violation(
+    method: &impl CostSharingMethod,
+    tol: f64,
+) -> Option<CrossMonotonicityViolation> {
+    let n = method.n_players();
+    for mask in 1u64..(1 << n) {
+        let shares_large = method.shares(mask);
+        for j in members_of(mask) {
+            let small = mask & !(1u64 << j);
+            if small == 0 {
+                continue;
+            }
+            let shares_small = method.shares(small);
+            for i in members_of(small) {
+                if shares_large[i] > shares_small[i] + tol {
+                    return Some(CrossMonotonicityViolation {
+                        small,
+                        large: mask,
+                        player: i,
+                        share_small: shares_small[i],
+                        share_large: shares_large[i],
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ExplicitGame;
+    use crate::method::ShapleyMethod;
+
+    fn max_game() -> ExplicitGame {
+        // C(R) = max need — submodular and non-decreasing.
+        ExplicitGame::from_fn(3, |m| {
+            [1.0, 2.0, 3.0]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| m & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .fold(0.0, f64::max)
+        })
+    }
+
+    #[test]
+    fn max_game_passes_both_checks() {
+        let g = max_game();
+        assert!(is_nondecreasing(&g));
+        assert!(is_submodular(&g));
+    }
+
+    #[test]
+    fn decreasing_game_detected() {
+        let g = ExplicitGame::from_fn(2, |m| match m {
+            0 => 0.0,
+            0b01 => 5.0,
+            0b10 => 1.0,
+            _ => 3.0, // adding player 1 to {0} lowers cost: not non-decreasing
+        });
+        assert!(!is_nondecreasing(&g));
+    }
+
+    #[test]
+    fn supermodular_game_yields_witness() {
+        // Strictly supermodular: C(R) = |R|^2 (complementarities).
+        let g = ExplicitGame::from_fn(3, |m| {
+            let k = m.count_ones() as f64;
+            k * k
+        });
+        let v = submodularity_violation(&g).expect("must find violation");
+        assert!(v.gap > 0.0);
+        assert!(!is_submodular(&g));
+    }
+
+    #[test]
+    fn shapley_on_submodular_game_is_cross_monotonic() {
+        let m = ShapleyMethod::new(max_game());
+        assert!(cross_monotonicity_violation(&m, 1e-9).is_none());
+    }
+
+    #[test]
+    fn shapley_on_supermodular_game_is_not_cross_monotonic() {
+        let g = ExplicitGame::from_fn(3, |m| {
+            let k = m.count_ones() as f64;
+            k * k
+        });
+        let m = ShapleyMethod::new(g);
+        let v = cross_monotonicity_violation(&m, 1e-9).expect("violation expected");
+        assert!(v.share_large > v.share_small);
+    }
+
+    #[test]
+    fn empty_and_singleton_games_trivially_pass() {
+        let g = ExplicitGame::from_fn(1, |m| m as f64);
+        assert!(is_nondecreasing(&g));
+        assert!(is_submodular(&g));
+        let m = ShapleyMethod::new(g);
+        assert!(cross_monotonicity_violation(&m, 1e-9).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! The core of a cost-sharing game, decided exactly by LP.
+//!
+//! `core(C)` (§1.1) is the set of allocations `f ≥ 0` with
+//! `Σ_{i∈N} f_i = C(N)` and `Σ_{i∈R} f_i ≤ C(R)` for every coalition `R`.
+//! Lemma 3.3 shows the optimal wireless multicast cost function can have an
+//! *empty* core for `α > 1, d > 1`, which kills cross-monotonic methods
+//! (every weakly cross-monotonic method induces a core allocation) and, by
+//! the Shapley-value argument, submodularity too.
+
+use crate::cost::CostFunction;
+use wmcs_lp::{LinearProgram, LpOutcome};
+
+/// Find a core allocation, or `None` if the core is empty.
+pub fn core_allocation(c: &impl CostFunction) -> Option<Vec<f64>> {
+    let n = c.n_players();
+    assert!(n <= 20, "core LP has 2^n rows; n = {n} is too large");
+    let grand = (1u64 << n) - 1;
+    let mut lp = LinearProgram::new(n);
+    // Coalition rationality: Σ_{i∈R} x_i ≤ C(R) for all proper non-empty R.
+    for mask in 1u64..grand {
+        let mut row = vec![0.0; n];
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                row[i] = 1.0;
+            }
+        }
+        lp.le(&row, c.cost_mask(mask));
+    }
+    // Budget balance: Σ_{i∈N} x_i = C(N).
+    lp.eq(&vec![1.0; n], c.cost_mask(grand));
+    match lp.maximize(&vec![0.0; n]) {
+        LpOutcome::Optimal { x, .. } => Some(x),
+        _ => None,
+    }
+}
+
+/// True if the game has an empty core.
+pub fn core_is_empty(c: &impl CostFunction) -> bool {
+    core_allocation(c).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::is_submodular;
+    use crate::cost::ExplicitGame;
+    use proptest::prelude::*;
+
+    #[test]
+    fn submodular_game_has_core_allocation() {
+        // Submodular (concave in coalition size) → non-empty core.
+        let g = ExplicitGame::from_fn(3, |m| (m.count_ones() as f64).sqrt() * 4.0);
+        assert!(is_submodular(&g));
+        let x = core_allocation(&g).expect("core must be non-empty");
+        // Validate the returned point against all coalition constraints.
+        let sum: f64 = x.iter().sum();
+        assert!((sum - g.grand_cost()).abs() < 1e-6);
+        for mask in 1u64..8 {
+            let s: f64 = (0..3)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| x[i])
+                .sum();
+            assert!(s <= g.cost_mask(mask) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn classic_empty_core_detected() {
+        // Pairs self-serve for 1, grand coalition costs 2 (see wmcs-lp
+        // integration tests for the arithmetic).
+        let g = ExplicitGame::from_fn(3, |m| match m.count_ones() {
+            0 => 0.0,
+            1 => 1.0,
+            2 => 1.0,
+            _ => 2.0,
+        });
+        assert!(core_is_empty(&g));
+    }
+
+    #[test]
+    fn additive_game_core_is_standalone_vector() {
+        let g = ExplicitGame::from_fn(3, |m| {
+            (0..3)
+                .filter(|i| m & (1 << i) != 0)
+                .map(|i| (i + 1) as f64)
+                .sum()
+        });
+        let x = core_allocation(&g).expect("additive games have a core");
+        // The only core point of an additive game is the standalone vector.
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+        assert!((x[2] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_player_core_is_grand_cost() {
+        let g = ExplicitGame::from_fn(1, |m| if m == 1 { 5.0 } else { 0.0 });
+        let x = core_allocation(&g).expect("singleton core");
+        assert!((x[0] - 5.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn submodular_games_always_have_cores(vals in proptest::collection::vec(0.1..5.0f64, 3)) {
+            // Max-games (airport style) are submodular for any needs vector.
+            let g = ExplicitGame::from_fn(3, |m| {
+                (0..3)
+                    .filter(|i| m & (1 << i) != 0)
+                    .map(|i| vals[i])
+                    .fold(0.0, f64::max)
+            });
+            prop_assert!(is_submodular(&g));
+            prop_assert!(core_allocation(&g).is_some());
+        }
+    }
+}

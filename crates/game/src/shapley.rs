@@ -1,0 +1,133 @@
+//! The exact Shapley value — Eq. (4) of the paper.
+//!
+//! `φ(R, x_i) = Σ_{Q ⊆ R\{x_i}} |Q|!(|R|−|Q|−1)!/|R|! · [C(Q ∪ {x_i}) − C(Q)]`
+//!
+//! This is the exponential reference implementation used to validate the
+//! paper's efficient per-edge-increment Shapley computation for universal
+//! trees (§2.1, implemented in `wmcs-wireless`) and the closed forms for
+//! the Euclidean `α = 1` case (§3.1). It is exact for coalitions of up to
+//! ~20 players.
+
+use crate::cost::CostFunction;
+use crate::subset::{factorials, members_of, size_of, subsets_of};
+
+/// Shapley value of every member of the coalition `mask` under cost `c`;
+/// returns a full-length vector (0 for non-members).
+pub fn shapley_value(c: &impl CostFunction, mask: u64) -> Vec<f64> {
+    let n = c.n_players();
+    assert!(n <= crate::subset::MAX_EXHAUSTIVE_PLAYERS);
+    let mut phi = vec![0.0f64; n];
+    let k = size_of(mask);
+    if k == 0 {
+        return phi;
+    }
+    let fact = factorials(k);
+    let members = members_of(mask);
+    for &i in &members {
+        let rest = mask & !(1u64 << i);
+        let mut v = 0.0;
+        for q in subsets_of(rest) {
+            let qs = size_of(q);
+            let weight = fact[qs] * fact[k - qs - 1] / fact[k];
+            v += weight * (c.cost_mask(q | (1 << i)) - c.cost_mask(q));
+        }
+        phi[i] = v;
+    }
+    phi
+}
+
+/// Shapley value restricted to the grand coalition.
+pub fn shapley_value_grand(c: &impl CostFunction) -> Vec<f64> {
+    shapley_value(c, (1u64 << c.n_players()) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ExplicitGame;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_coalition_all_zero() {
+        let g = ExplicitGame::from_fn(3, |m| m.count_ones() as f64);
+        assert_eq!(shapley_value(&g, 0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn additive_game_gives_standalone_costs() {
+        // C(R) = Σ_{i∈R} (i+1): Shapley = standalone cost.
+        let g = ExplicitGame::from_fn(3, |m| {
+            (0..3)
+                .filter(|i| m & (1 << i) != 0)
+                .map(|i| (i + 1) as f64)
+                .sum()
+        });
+        let phi = shapley_value_grand(&g);
+        assert!((phi[0] - 1.0).abs() < 1e-12);
+        assert!((phi[1] - 2.0).abs() < 1e-12);
+        assert!((phi[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_players_split_equally() {
+        // Any symmetric game: equal shares.
+        let g = ExplicitGame::from_fn(4, |m| (m.count_ones() as f64).sqrt() * 7.0);
+        let phi = shapley_value_grand(&g);
+        for w in phi.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+        let total: f64 = phi.iter().sum();
+        assert!((total - g.grand_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subcoalition_ignores_outsiders() {
+        let g = ExplicitGame::from_fn(3, |m| m.count_ones() as f64 * 2.0);
+        let phi = shapley_value(&g, 0b011);
+        assert_eq!(phi[2], 0.0);
+        assert!((phi[0] - 2.0).abs() < 1e-12);
+        assert!((phi[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glove_game_three_players() {
+        // Unanimity-style game: value only when all three cooperate.
+        let g = ExplicitGame::from_fn(3, |m| if m == 0b111 { 9.0 } else { 0.0 });
+        let phi = shapley_value_grand(&g);
+        for p in phi {
+            assert!((p - 3.0).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn budget_balance_identity(table in proptest::collection::vec(0.0..10.0f64, 8)) {
+            // Σ_i φ_i(R) = C(R) for every coalition R — the defining
+            // efficiency axiom of the Shapley value.
+            let mut table = table;
+            table[0] = 0.0;
+            let g = ExplicitGame::new(3, table);
+            for mask in 0u64..8 {
+                let phi = shapley_value(&g, mask);
+                let sum: f64 = phi.iter().sum();
+                prop_assert!((sum - g.cost_mask(mask)).abs() < 1e-9,
+                    "mask {mask}: Σφ = {sum} ≠ C = {}", g.cost_mask(mask));
+            }
+        }
+
+        #[test]
+        fn dummy_player_pays_marginal_zero(table in proptest::collection::vec(0.0..10.0f64, 4)) {
+            // Extend a 2-player game with a dummy (adds no cost): Shapley
+            // charges the dummy exactly 0.
+            let mut t2 = table;
+            t2[0] = 0.0;
+            let g = ExplicitGame::from_fn(3, |m| {
+                let base = m & 0b011;
+                t2[base as usize]
+            });
+            let phi = shapley_value_grand(&g);
+            prop_assert!(phi[2].abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Tolerant floating-point comparison helpers.
+//!
+//! Every branch a mechanism takes (drop an agent, accept a spider, compare a
+//! ratio against a reported utility) is a comparison of `f64` costs. To keep
+//! those decisions deterministic across algebraically equivalent evaluation
+//! orders, all of them go through the helpers in this module with a single
+//! shared absolute/relative tolerance [`EPS`].
+
+/// Shared tolerance for cost comparisons.
+///
+/// Costs in this workspace are O(1)..O(10^4) (distances up to ~100 raised to
+/// powers up to α = 6 in extreme configurations), so an absolute tolerance of
+/// `1e-9` combined with a relative one keeps comparisons meaningful at both
+/// ends of the range.
+pub const EPS: f64 = 1e-9;
+
+/// `a == b` up to [`EPS`] absolute or relative error.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= EPS || diff <= EPS * a.abs().max(b.abs())
+}
+
+/// `a <= b` up to tolerance (i.e. `a` is not significantly greater than `b`).
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS + EPS * a.abs().max(b.abs())
+}
+
+/// `a >= b` up to tolerance.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    approx_le(b, a)
+}
+
+/// `a < b` strictly, beyond tolerance.
+#[inline]
+pub fn approx_lt(a: f64, b: f64) -> bool {
+    !approx_le(b, a)
+}
+
+/// Configurable-tolerance comparator for callers that need a different
+/// epsilon (e.g. validating Shapley identities at `1e-6` relative error).
+#[derive(Debug, Clone, Copy)]
+pub struct Eps(pub f64);
+
+impl Eps {
+    /// `a == b` within this tolerance (absolute or relative).
+    #[inline]
+    pub fn eq(&self, a: f64, b: f64) -> bool {
+        let diff = (a - b).abs();
+        diff <= self.0 || diff <= self.0 * a.abs().max(b.abs())
+    }
+
+    /// `a <= b` within this tolerance.
+    #[inline]
+    pub fn le(&self, a: f64, b: f64) -> bool {
+        a <= b + self.0 + self.0 * a.abs().max(b.abs())
+    }
+}
+
+/// Total order on an `f64` slice index set: sorts indices by value with
+/// `f64::total_cmp`, breaking ties by index so the order is deterministic.
+pub fn total_cmp_slice(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]).then(a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_tolerates_tiny_differences() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(0.0, 1e-10));
+        assert!(!approx_eq(1.0, 1.001));
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        let big = 1e12;
+        assert!(approx_eq(big, big * (1.0 + 1e-12)));
+        assert!(!approx_eq(big, big * 1.001));
+    }
+
+    #[test]
+    fn le_ge_lt_are_consistent() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0, 1.0 + 1e-12));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(approx_ge(2.0, 1.0));
+        assert!(approx_lt(1.0, 2.0));
+        assert!(!approx_lt(1.0, 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn custom_eps_widens_band() {
+        let e = Eps(1e-3);
+        assert!(e.eq(1.0, 1.0005));
+        assert!(!e.eq(1.0, 1.01));
+        assert!(e.le(1.0005, 1.0));
+    }
+
+    #[test]
+    fn total_cmp_slice_sorts_and_breaks_ties_by_index() {
+        let v = [3.0, 1.0, 2.0, 1.0];
+        assert_eq!(total_cmp_slice(&v), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn total_cmp_slice_empty() {
+        assert!(total_cmp_slice(&[]).is_empty());
+    }
+}

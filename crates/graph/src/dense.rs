@@ -1,0 +1,220 @@
+//! Dense symmetric cost matrices.
+//!
+//! The paper's cost graph `(S, c)` is a complete graph with a symmetric
+//! transmission-cost function (§1); a dense `n × n` matrix is the natural
+//! representation. Sparse graphs (the NWST instances of §2.2) use
+//! `f64::INFINITY` entries for absent edges.
+
+use wmcs_geom::{Point, PowerModel};
+
+/// Symmetric cost matrix over vertices `0..n`, diagonal fixed at 0 and
+/// missing edges stored as `f64::INFINITY`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    n: usize,
+    /// Row-major `n * n` storage.
+    c: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Matrix with no edges (all off-diagonal entries infinite).
+    pub fn disconnected(n: usize) -> Self {
+        let mut c = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            c[i * n + i] = 0.0;
+        }
+        Self { n, c }
+    }
+
+    /// Complete matrix from a symmetric cost closure.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::disconnected(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Complete Euclidean power-cost matrix: `c(i, j) = κ · dist(i, j)^α`.
+    pub fn from_points(points: &[Point], model: &PowerModel) -> Self {
+        Self::from_fn(points.len(), |i, j| model.cost(&points[i], &points[j]))
+    }
+
+    /// Matrix from an explicit undirected edge list; absent edges stay
+    /// infinite, duplicate edges keep the cheapest cost.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut m = Self::disconnected(n);
+        for &(u, v, w) in edges {
+            if w < m.cost(u, v) {
+                m.set(u, v, w);
+            }
+        }
+        m
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Cost of the undirected edge `{i, j}` (0 when `i == j`, infinite when
+    /// absent).
+    #[inline]
+    pub fn cost(&self, i: usize, j: usize) -> f64 {
+        self.c[i * self.n + j]
+    }
+
+    /// Set the symmetric cost of `{i, j}`.
+    pub fn set(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i != j, "diagonal is fixed at zero");
+        assert!(w >= 0.0, "costs must be non-negative");
+        self.c[i * self.n + j] = w;
+        self.c[j * self.n + i] = w;
+    }
+
+    /// True if the edge `{i, j}` exists (finite cost).
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        i != j && self.cost(i, j).is_finite()
+    }
+
+    /// All undirected edges `(i < j, cost)` with finite cost.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let w = self.cost(i, j);
+                if w.is_finite() {
+                    out.push((i, j, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Finite-cost neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (0..self.n)
+            .filter(move |&u| u != v)
+            .filter_map(move |u| {
+                let w = self.cost(v, u);
+                w.is_finite().then_some((u, w))
+            })
+    }
+
+    /// The distinct finite transmission costs incident to `v`, sorted
+    /// ascending — the paper's `C_i^1 < … < C_i^{n_i}` power levels used by
+    /// both the exact MEMT solver and the NWST reduction (§2.2.1).
+    pub fn power_levels(&self, v: usize) -> Vec<f64> {
+        let mut levels: Vec<f64> = self.neighbors(v).map(|(_, w)| w).collect();
+        levels.sort_by(f64::total_cmp);
+        levels.dedup_by(|a, b| wmcs_geom::approx_eq(*a, *b));
+        levels
+    }
+
+    /// Restriction of the matrix to a vertex subset; returns the submatrix
+    /// and the mapping `new index -> old index`.
+    pub fn induced(&self, vertices: &[usize]) -> (CostMatrix, Vec<usize>) {
+        let map: Vec<usize> = vertices.to_vec();
+        let sub = CostMatrix::from_fn(map.len(), |a, b| self.cost(map[a], map[b]));
+        (sub, map)
+    }
+
+    /// Total cost of an edge set (panics on absent edges in debug builds).
+    pub fn total_cost(&self, edges: &[(usize, usize)]) -> f64 {
+        edges
+            .iter()
+            .map(|&(u, v)| {
+                let w = self.cost(u, v);
+                debug_assert!(w.is_finite(), "edge ({u}, {v}) is absent");
+                w
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_geom::approx_eq;
+
+    #[test]
+    fn disconnected_has_no_edges() {
+        let m = CostMatrix::disconnected(3);
+        assert!(m.edges().is_empty());
+        assert!(!m.has_edge(0, 1));
+        assert_eq!(m.cost(1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_fn_builds_symmetric_matrix() {
+        let m = CostMatrix::from_fn(3, |i, j| (i + j) as f64);
+        assert!(approx_eq(m.cost(0, 1), 1.0));
+        assert!(approx_eq(m.cost(1, 0), 1.0));
+        assert!(approx_eq(m.cost(1, 2), 3.0));
+        assert_eq!(m.edges().len(), 3);
+    }
+
+    #[test]
+    fn from_points_matches_power_model() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(3.0, 4.0)];
+        let m = CostMatrix::from_points(&pts, &PowerModel::free_space());
+        assert!(approx_eq(m.cost(0, 1), 25.0));
+    }
+
+    #[test]
+    fn from_edges_keeps_cheapest_duplicate() {
+        let m = CostMatrix::from_edges(3, &[(0, 1, 5.0), (1, 0, 2.0), (1, 2, 1.0)]);
+        assert!(approx_eq(m.cost(0, 1), 2.0));
+        assert!(!m.has_edge(0, 2));
+    }
+
+    #[test]
+    fn power_levels_sorted_and_deduped() {
+        let m = CostMatrix::from_edges(4, &[(0, 1, 2.0), (0, 2, 1.0), (0, 3, 2.0)]);
+        assert_eq!(m.power_levels(0), vec![1.0, 2.0]);
+        assert_eq!(m.power_levels(3), vec![2.0]);
+    }
+
+    #[test]
+    fn induced_submatrix_remaps_indices() {
+        let m = CostMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        let (sub, map) = m.induced(&[1, 3]);
+        assert_eq!(map, vec![1, 3]);
+        assert_eq!(sub.len(), 2);
+        assert!(approx_eq(sub.cost(0, 1), 13.0));
+    }
+
+    #[test]
+    fn neighbors_skip_missing_edges() {
+        let m = CostMatrix::from_edges(4, &[(0, 1, 1.0), (0, 3, 2.0)]);
+        let nb: Vec<_> = m.neighbors(0).collect();
+        assert_eq!(nb, vec![(1, 1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn total_cost_sums_edges() {
+        let m = CostMatrix::from_fn(3, |_, _| 2.0);
+        assert!(approx_eq(m.total_cost(&[(0, 1), (1, 2)]), 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn setting_diagonal_panics() {
+        let mut m = CostMatrix::disconnected(2);
+        m.set(1, 1, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_panics() {
+        let mut m = CostMatrix::disconnected(2);
+        m.set(0, 1, -1.0);
+    }
+}

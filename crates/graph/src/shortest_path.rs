@@ -1,0 +1,180 @@
+//! Dijkstra shortest paths and shortest-path trees.
+
+use crate::dense::CostMatrix;
+use crate::heap::IndexedMinHeap;
+use crate::tree::RootedTree;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Source vertex.
+    pub source: usize,
+    /// `dist[v]` = cost of the cheapest path `source → v` (infinite if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor on a cheapest path (None for the source / unreachable).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the cheapest path `source → v`, or `None` if unreachable.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        if v != self.source && self.parent[v].is_none() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The shortest-path tree as a [`RootedTree`] (spanning the reachable
+    /// vertices). This is the "pre-computed shortest path tree … used as a
+    /// (universal) tree" suggestion of Penna–Ventre discussed in §2.1.
+    pub fn tree(&self) -> RootedTree {
+        RootedTree::from_parents(self.source, self.parent.clone())
+    }
+}
+
+/// Dijkstra on a dense cost matrix. `O(n^2 log n)` with the indexed heap,
+/// which is fine for the `n ≤ ~500` instances exercised in the benches.
+pub fn dijkstra(costs: &CostMatrix, source: usize) -> ShortestPaths {
+    let n = costs.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = IndexedMinHeap::new(n);
+    dist[source] = 0.0;
+    heap.push_or_decrease(source, 0.0);
+    while let Some((u, du)) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for (v, w) in costs.neighbors(u) {
+            if !done[v] && du + w < dist[v] {
+                dist[v] = du + w;
+                parent[v] = Some(u);
+                heap.push_or_decrease(v, dist[v]);
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// All-pairs shortest-path distances and a midpoint matrix for path
+/// reconstruction (the *metric closure* used by the KMB Steiner
+/// approximation). Runs `n` Dijkstras.
+#[derive(Debug, Clone)]
+pub struct MetricClosure {
+    /// `dist[u][v]` = shortest-path cost between `u` and `v`.
+    pub dist: Vec<Vec<f64>>,
+    /// `via[u][v]` = predecessor of `v` on the cheapest `u → v` path.
+    pub via: Vec<Vec<Option<usize>>>,
+}
+
+impl MetricClosure {
+    /// Compute the closure of a cost matrix.
+    pub fn of(costs: &CostMatrix) -> Self {
+        let n = costs.len();
+        let mut dist = Vec::with_capacity(n);
+        let mut via = Vec::with_capacity(n);
+        for s in 0..n {
+            let sp = dijkstra(costs, s);
+            dist.push(sp.dist);
+            via.push(sp.parent);
+        }
+        Self { dist, via }
+    }
+
+    /// Expand the closure edge `{u, v}` back into the underlying path.
+    pub fn expand_path(&self, u: usize, v: usize) -> Vec<usize> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = self.via[u][cur].expect("vertices must be connected");
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_geom::approx_eq;
+
+    /// Path graph 0 -1- 1 -1- 2 -1- 3 plus a costly shortcut 0-3.
+    fn path_with_shortcut() -> CostMatrix {
+        CostMatrix::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])
+    }
+
+    #[test]
+    fn dijkstra_prefers_multi_hop_over_shortcut() {
+        let sp = dijkstra(&path_with_shortcut(), 0);
+        assert!(approx_eq(sp.dist[3], 3.0));
+        assert_eq!(sp.path_to(3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_vertices_stay_infinite() {
+        let m = CostMatrix::from_edges(3, &[(0, 1, 1.0)]);
+        let sp = dijkstra(&m, 0);
+        assert!(sp.dist[2].is_infinite());
+        assert_eq!(sp.path_to(2), None);
+        assert_eq!(sp.path_to(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn shortest_path_tree_spans_reachable_set() {
+        let sp = dijkstra(&path_with_shortcut(), 0);
+        let t = sp.tree();
+        assert_eq!(t.nodes(), vec![0, 1, 2, 3]);
+        assert_eq!(t.path_from_root(3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn closure_distances_are_metric() {
+        let mc = MetricClosure::of(&path_with_shortcut());
+        assert!(approx_eq(mc.dist[0][3], 3.0));
+        assert!(approx_eq(mc.dist[3][0], 3.0));
+        for u in 0..4 {
+            assert_eq!(mc.dist[u][u], 0.0);
+            for v in 0..4 {
+                for w in 0..4 {
+                    assert!(mc.dist[u][w] <= mc.dist[u][v] + mc.dist[v][w] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_paths_expand_correctly() {
+        let mc = MetricClosure::of(&path_with_shortcut());
+        assert_eq!(mc.expand_path(0, 3), vec![0, 1, 2, 3]);
+        assert_eq!(mc.expand_path(3, 0), vec![3, 2, 1, 0]);
+        assert_eq!(mc.expand_path(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn dense_complete_graph_shortest_paths() {
+        // On a complete metric graph the direct edge is always shortest.
+        let pts: Vec<wmcs_geom::Point> = (0..6)
+            .map(|i| wmcs_geom::Point::xy(i as f64, (i * i % 3) as f64))
+            .collect();
+        let m = CostMatrix::from_points(&pts, &wmcs_geom::PowerModel::linear());
+        let sp = dijkstra(&m, 0);
+        for v in 1..6 {
+            assert!(approx_eq(sp.dist[v], m.cost(0, v)));
+        }
+    }
+}

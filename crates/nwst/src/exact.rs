@@ -1,0 +1,135 @@
+//! Exact NWST by exhaustive search over positive-weight node subsets —
+//! the optimum reference for the approximation-ratio tables (experiment
+//! T2). Zero-weight nodes are always free to include, so only nodes with
+//! positive weight are enumerated.
+
+use crate::graph::NodeWeightedGraph;
+use wmcs_geom::EPS;
+
+/// Exact minimum NWST cost spanning `terminals`, or `None` if they cannot
+/// be connected at all. Exponential in the number of positive-weight
+/// non-terminal nodes (capped at 22).
+pub fn nwst_exact_cost(g: &NodeWeightedGraph, terminals: &[usize]) -> Option<f64> {
+    if terminals.len() <= 1 {
+        return Some(terminals.iter().map(|&t| g.weight(t)).sum());
+    }
+    let n = g.len();
+    let is_terminal = {
+        let mut v = vec![false; n];
+        for &t in terminals {
+            v[t] = true;
+        }
+        v
+    };
+    // Free base: terminals plus all zero-weight nodes.
+    let base: Vec<usize> = (0..n)
+        .filter(|&v| is_terminal[v] || g.weight(v) <= EPS)
+        .collect();
+    let optional: Vec<usize> = (0..n)
+        .filter(|&v| !is_terminal[v] && g.weight(v) > EPS)
+        .collect();
+    assert!(
+        optional.len() <= 22,
+        "exact NWST is exponential in positive-weight nodes: {}",
+        optional.len()
+    );
+    let terminal_weight: f64 = terminals.iter().map(|&t| g.weight(t)).sum();
+    let mut best: Option<f64> = None;
+    for mask in 0u64..(1 << optional.len()) {
+        let mut nodes = base.clone();
+        let mut cost = terminal_weight;
+        for (i, &v) in optional.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                nodes.push(v);
+                cost += g.weight(v);
+            }
+        }
+        if best.is_some_and(|b| cost >= b) {
+            continue;
+        }
+        if g.is_connected_subgraph(&nodes, terminals) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{nwst_approximate, NwstConfig};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_geom::approx_eq;
+
+    #[test]
+    fn star_optimum_is_cheap_hub() {
+        let mut g = NodeWeightedGraph::new(vec![2.0, 0.0, 0.0, 0.0, 9.0]);
+        for t in 1..=3 {
+            g.add_edge(0, t);
+            g.add_edge(4, t);
+        }
+        assert!(approx_eq(nwst_exact_cost(&g, &[1, 2, 3]).unwrap(), 2.0));
+    }
+
+    #[test]
+    fn single_terminal_costs_its_own_weight() {
+        let g = NodeWeightedGraph::new(vec![3.0]);
+        assert!(approx_eq(nwst_exact_cost(&g, &[0]).unwrap(), 3.0));
+    }
+
+    #[test]
+    fn disconnected_terminals_return_none() {
+        let g = NodeWeightedGraph::new(vec![0.0, 0.0]);
+        assert_eq!(nwst_exact_cost(&g, &[0, 1]), None);
+    }
+
+    #[test]
+    fn zero_weight_bridges_are_free() {
+        let mut g = NodeWeightedGraph::new(vec![0.0, 0.0, 0.0, 7.0]);
+        g.add_edge(0, 2);
+        g.add_edge(2, 1);
+        g.add_edge(0, 3);
+        g.add_edge(3, 1);
+        assert!(approx_eq(nwst_exact_cost(&g, &[0, 1]).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn greedy_never_beats_exact_on_random_graphs() {
+        for seed in 0..40u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(5usize..10);
+            let k = rng.gen_range(2usize..4.min(n));
+            // Terminals 0..k weight 0; the rest random positive weights.
+            let weights: Vec<f64> = (0..n)
+                .map(|v| if v < k { 0.0 } else { rng.gen_range(0.1..5.0) })
+                .collect();
+            let mut g = NodeWeightedGraph::new(weights);
+            // Random connected-ish graph: a ring plus chords.
+            for v in 0..n {
+                g.add_edge(v, (v + 1) % n);
+            }
+            for _ in 0..n {
+                let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            let terminals: Vec<usize> = (0..k).collect();
+            let exact = nwst_exact_cost(&g, &terminals).expect("ring is connected");
+            let greedy = nwst_approximate(&g, &terminals, &NwstConfig::default());
+            assert!(
+                greedy.cost + 1e-9 >= exact,
+                "seed {seed}: greedy {} < exact {exact}",
+                greedy.cost
+            );
+            // 1.5 ln k bound with k small: allow the analytic bound's small-k
+            // floor of factor 2 (the guarantee is asymptotic).
+            let bound = (1.5 * (terminals.len() as f64).ln()).max(2.0);
+            assert!(
+                greedy.cost <= bound * exact.max(EPS) + 1e-6,
+                "seed {seed}: greedy {} vs exact {exact} exceeds {bound}",
+                greedy.cost
+            );
+        }
+    }
+}

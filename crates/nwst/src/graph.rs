@@ -1,0 +1,245 @@
+//! Node-weighted graphs and node-weighted shortest paths.
+//!
+//! NWST (§2.2): given an undirected graph with non-negative *node* weights
+//! and a set of terminals, find a minimum-weight connected subgraph
+//! spanning the terminals (cost = sum of the weights of its nodes). The
+//! spider algorithms need node-weighted shortest paths: the cost of a path
+//! is the sum of the weights of its nodes, with configurable exclusions for
+//! already-paid nodes (weight 0 after shrinking).
+
+/// An undirected graph with node weights.
+#[derive(Debug, Clone)]
+pub struct NodeWeightedGraph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl NodeWeightedGraph {
+    /// Graph with the given node weights and no edges.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "node weights must be non-negative"
+        );
+        let n = weights.len();
+        Self {
+            weights,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of node `v`.
+    pub fn weight(&self, v: usize) -> f64 {
+        self.weights[v]
+    }
+
+    /// Add an undirected edge (idempotent).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "no self loops");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Multi-source node-weighted Dijkstra. `dist[x]` is the minimum, over
+    /// paths from any source to `x`, of the sum of `effective_weight` over
+    /// the path nodes *excluding the source itself* (so `dist[source] = 0`
+    /// and `dist[x]` includes `x`'s weight). `parent` allows path
+    /// reconstruction.
+    pub fn dijkstra_from_set(
+        &self,
+        sources: &[usize],
+        effective_weight: &dyn Fn(usize) -> f64,
+    ) -> (Vec<f64>, Vec<Option<usize>>) {
+        let n = self.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut heap = wmcs_graph::IndexedMinHeap::new(n);
+        for &s in sources {
+            dist[s] = 0.0;
+            heap.push_or_decrease(s, 0.0);
+        }
+        while let Some((u, du)) = heap.pop() {
+            if du > dist[u] {
+                continue;
+            }
+            for &v in &self.adj[u] {
+                let nd = du + effective_weight(v);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = Some(u);
+                    heap.push_or_decrease(v, nd);
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// Reconstruct the path (source → … → `target`) from a `parent` array
+    /// produced by [`Self::dijkstra_from_set`].
+    pub fn path_from_parents(parent: &[Option<usize>], target: usize) -> Vec<usize> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Total weight of a node set (each node counted once).
+    pub fn weight_of_set(&self, nodes: &[usize]) -> f64 {
+        let mut seen = vec![false; self.len()];
+        let mut total = 0.0;
+        for &v in nodes {
+            if !seen[v] {
+                seen[v] = true;
+                total += self.weights[v];
+            }
+        }
+        total
+    }
+
+    /// True if `nodes` induces a connected subgraph containing every node
+    /// of `must_contain`.
+    pub fn is_connected_subgraph(&self, nodes: &[usize], must_contain: &[usize]) -> bool {
+        if must_contain.is_empty() {
+            return true;
+        }
+        let mut in_set = vec![false; self.len()];
+        for &v in nodes {
+            in_set[v] = true;
+        }
+        if must_contain.iter().any(|&t| !in_set[t]) {
+            return false;
+        }
+        let start = must_contain[0];
+        let mut seen = vec![false; self.len()];
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if in_set[v] && !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        must_contain.iter().all(|&t| seen[t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_geom::approx_eq;
+
+    /// Path 0 — 1 — 2 — 3 with weights 0, 5, 1, 0, plus shortcut 0 — 3
+    /// through heavy node 4 (weight 10).
+    fn fixture() -> NodeWeightedGraph {
+        let mut g = NodeWeightedGraph::new(vec![0.0, 5.0, 1.0, 0.0, 10.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(0, 4);
+        g.add_edge(4, 3);
+        g
+    }
+
+    #[test]
+    fn dijkstra_counts_node_weights() {
+        let g = fixture();
+        let (dist, parent) = g.dijkstra_from_set(&[0], &|v| g.weight(v));
+        assert!(approx_eq(dist[0], 0.0));
+        assert!(approx_eq(dist[1], 5.0));
+        assert!(approx_eq(dist[2], 6.0));
+        // 0→1→2→3 = 6 beats 0→4→3 = 10.
+        assert!(approx_eq(dist[3], 6.0));
+        assert_eq!(
+            NodeWeightedGraph::path_from_parents(&parent, 3),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn effective_weight_overrides_paid_nodes() {
+        let g = fixture();
+        // Node 4 already paid → weight 0 → route through it.
+        let eff = |v: usize| if v == 4 { 0.0 } else { g.weight(v) };
+        let (dist, parent) = g.dijkstra_from_set(&[0], &eff);
+        assert!(approx_eq(dist[3], 0.0));
+        assert_eq!(
+            NodeWeightedGraph::path_from_parents(&parent, 3),
+            vec![0, 4, 3]
+        );
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = fixture();
+        let (dist, _) = g.dijkstra_from_set(&[0, 3], &|v| g.weight(v));
+        assert!(approx_eq(dist[2], 1.0)); // from 3
+        assert!(approx_eq(dist[1], 5.0)); // from 0
+    }
+
+    #[test]
+    fn weight_of_set_deduplicates() {
+        let g = fixture();
+        assert!(approx_eq(g.weight_of_set(&[1, 2, 1]), 6.0));
+        assert_eq!(g.weight_of_set(&[]), 0.0);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let g = fixture();
+        assert!(g.is_connected_subgraph(&[0, 1, 2, 3], &[0, 3]));
+        assert!(!g.is_connected_subgraph(&[0, 3], &[0, 3])); // 0–3 not adjacent
+        assert!(g.is_connected_subgraph(&[0, 4, 3], &[0, 3]));
+        assert!(!g.is_connected_subgraph(&[0, 1], &[0, 3])); // 3 missing
+        assert!(g.is_connected_subgraph(&[], &[]));
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let mut g = NodeWeightedGraph::new(vec![1.0, 1.0]);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = NodeWeightedGraph::new(vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_rejected() {
+        let mut g = NodeWeightedGraph::new(vec![1.0]);
+        g.add_edge(0, 0);
+    }
+}

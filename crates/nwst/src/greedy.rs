@@ -1,0 +1,498 @@
+//! The greedy NWST algorithm `A_ST` and the paper's NWST cost-sharing
+//! mechanism (§2.2.2), in one parameterised driver.
+//!
+//! The mechanism repeatedly buys the minimum-ratio 3+ branch-spider,
+//! charges its ratio to the covered terminals (constituents of shrunk
+//! super-terminals split it equally), shrinks, aggregates the new
+//! super-terminal's reported utility by Eq. (5)
+//! `v_t = |T_Sp| · min_{t'∈T_Sp}(v_{t'} − c_{t'})`, and — once at most two
+//! terminals remain — connects them by the cheapest node-weighted path
+//! (payment-checked like a spider). If some covered terminal cannot pay a
+//! ratio, the unaffordable constituents are dropped and the computation
+//! restarts from scratch on the reduced terminal set.
+//!
+//! Running with infinite budgets reproduces the plain approximation
+//! algorithm (no drops). Theorem 2.2's argument — the mechanism's solution
+//! equals the algorithm's on the final receiver set — holds by construction
+//! here, since both are the same code path.
+//!
+//! **Faithfulness note (documented deviation).** The paper's drop rule
+//! removes `X = {x_i ∈ N_t^+ : v_i − c_i < v_t / |N_t^+|}`; read literally
+//! (strict `<`) this is *empty* for a fresh terminal (`v_i − 0 < v_i`
+//! fails), dead-locking the restart loop. We use `≤` (which drops the
+//! minimum-residual constituent and every fresh unaffordable terminal) and,
+//! defensively, fall back to dropping the minimum-residual constituent if
+//! the set is still empty. Shares remain independent of a terminal's own
+//! report, so strategyproofness (Theorem 2.3) is unaffected.
+
+use crate::graph::NodeWeightedGraph;
+use crate::spider::{cheapest_connection, find_min_ratio_spider, Group, SpiderCandidate};
+use wmcs_geom::EPS;
+
+/// How a super-terminal's ability to pay is assessed (see DESIGN.md §3a,
+/// finding 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetAggregation {
+    /// The paper's Eq. (5): scalar budget `v_t = |T_Sp| · min residual`,
+    /// checked as `ratio ≤ v_t`. Conservative — thresholds can exceed the
+    /// eventual per-member charge, breaking strategyproofness on ~5% of
+    /// random profiles (experiment T9 quantifies this).
+    #[default]
+    PaperEq5,
+    /// Tightened per-member check: a group can pay iff every member's
+    /// residual covers its actual slice `ratio / |N_t^+|`, and failed
+    /// checks evict only the single weakest member before restarting.
+    /// Serves weakly more agents and cuts the measured strategyproofness
+    /// violations ~3× (experiment T9); a small residual rate remains from
+    /// restart path-dependence — exact strategyproofness would need
+    /// cross-monotonic shares, which Lemma 3.3 rules out here.
+    TightMemberResiduals,
+}
+
+/// Oracle configuration for the greedy driver.
+#[derive(Debug, Clone, Copy)]
+pub struct NwstConfig {
+    /// Minimum total groups per component (3 = the paper's 3+
+    /// branch-spiders; 2 = Klein–Ravi spiders).
+    pub min_spider_groups: usize,
+    /// Enable Guha–Khuller-style two-terminal branch legs.
+    pub branch_legs: bool,
+    /// Payment-check semantics (paper-faithful by default).
+    pub aggregation: BudgetAggregation,
+}
+
+impl Default for NwstConfig {
+    fn default() -> Self {
+        Self {
+            min_spider_groups: 3,
+            branch_legs: true,
+            aggregation: BudgetAggregation::PaperEq5,
+        }
+    }
+}
+
+/// Result of a mechanism (or plain-algorithm) run.
+#[derive(Debug, Clone)]
+pub struct NwstOutcome {
+    /// Indices (into the input `terminals` slice) that receive service.
+    pub receivers: Vec<usize>,
+    /// Cost share per input terminal index (0 for dropped terminals).
+    pub shares: Vec<f64>,
+    /// All bought nodes (terminals included).
+    pub tree_nodes: Vec<usize>,
+    /// Spanning-tree edges over `tree_nodes` (for the reduction's BFS
+    /// orientation).
+    pub tree_edges: Vec<(usize, usize)>,
+    /// True node-weight cost of the bought set `C(R(v))`.
+    pub cost: f64,
+}
+
+struct GroupState {
+    /// Input terminal indices merged into this group (excluding the free
+    /// terminal).
+    members: Vec<usize>,
+    /// Graph nodes of the group.
+    nodes: Vec<usize>,
+    /// Aggregated reported utility `v_t` (Eq. (5)); `f64::INFINITY` until
+    /// capped by real members.
+    budget: f64,
+    /// Whether the free (source) terminal was merged in.
+    has_free: bool,
+}
+
+impl GroupState {
+    fn counted(&self) -> bool {
+        !self.members.is_empty()
+    }
+}
+
+/// Run the NWST mechanism. `budgets[i]` is terminal `i`'s reported utility
+/// (`f64::INFINITY` turns the run into the plain approximation algorithm);
+/// `free_terminal` marks the index of a terminal that always pays 0 and is
+/// excluded from ratio denominators (the wireless source, §2.2.3).
+///
+/// Terminal nodes must have zero weight (the standard NWST normalisation;
+/// the paper's footnote 1 and the reduction both guarantee it).
+pub fn nwst_mechanism(
+    g: &NodeWeightedGraph,
+    terminals: &[usize],
+    budgets: &[f64],
+    free_terminal: Option<usize>,
+    config: &NwstConfig,
+) -> NwstOutcome {
+    let k = terminals.len();
+    assert_eq!(budgets.len(), k);
+    for &t in terminals {
+        assert!(
+            g.weight(t).abs() < EPS,
+            "terminal nodes must have zero weight (normalise per footnote 1)"
+        );
+    }
+    if let Some(f) = free_terminal {
+        assert!(f < k);
+    }
+    let mut active: Vec<usize> = (0..k).collect();
+
+    'restart: loop {
+        if active.is_empty() {
+            return NwstOutcome {
+                receivers: vec![],
+                shares: vec![0.0; k],
+                tree_nodes: vec![],
+                tree_edges: vec![],
+                cost: 0.0,
+            };
+        }
+        let mut shares = vec![0.0f64; k];
+        let mut paid = vec![false; g.len()];
+        let mut groups: Vec<GroupState> = active
+            .iter()
+            .map(|&idx| {
+                paid[terminals[idx]] = true;
+                let is_free = Some(idx) == free_terminal;
+                GroupState {
+                    members: if is_free { vec![] } else { vec![idx] },
+                    nodes: vec![terminals[idx]],
+                    budget: if is_free { f64::INFINITY } else { budgets[idx] },
+                    has_free: is_free,
+                }
+            })
+            .collect();
+
+        loop {
+            if groups.len() <= 1 {
+                return finish(g, terminals, &active, shares, &paid);
+            }
+            // Pick the next component: a 3+ branch-spider while more than
+            // two groups remain, the optimal connection for the final pair.
+            // (If no 3+ spider exists — e.g. only source + 2 terminals with
+            // the source uncounted — fall back to 2-group components.)
+            let spider_groups: Vec<Group> = groups
+                .iter()
+                .enumerate()
+                .map(|(i, gs)| Group {
+                    id: i,
+                    nodes: gs.nodes.clone(),
+                    counted: gs.counted(),
+                })
+                .collect();
+            let effective = |v: usize| if paid[v] { 0.0 } else { g.weight(v) };
+            let component: SpiderCandidate = if groups.len() == 2 {
+                cheapest_connection(g, &spider_groups[0], &spider_groups[1], &effective)
+                    .expect("instance must connect its terminals")
+            } else {
+                find_min_ratio_spider(
+                    g,
+                    &spider_groups,
+                    &effective,
+                    config.min_spider_groups,
+                    config.branch_legs,
+                )
+                .or_else(|| {
+                    find_min_ratio_spider(g, &spider_groups, &effective, 2, config.branch_legs)
+                })
+                .expect("instance must connect its terminals")
+            };
+
+            // Payment check: every counted covered group must afford the
+            // ratio (semantics per `config.aggregation`).
+            let group_can_pay = |gs: &GroupState| -> bool {
+                match config.aggregation {
+                    BudgetAggregation::PaperEq5 => gs.budget >= component.ratio - EPS,
+                    BudgetAggregation::TightMemberResiduals => {
+                        let slice = component.ratio / gs.members.len() as f64;
+                        gs.members
+                            .iter()
+                            .all(|&m| budgets[m] - shares[m] >= slice - EPS)
+                    }
+                }
+            };
+            let unaffordable: Vec<usize> = component
+                .covered_groups
+                .iter()
+                .copied()
+                .filter(|&gi| groups[gi].counted() && !group_can_pay(&groups[gi]))
+                .collect();
+            if unaffordable.is_empty() {
+                // Accept: charge, merge, shrink.
+                for &gi in &component.covered_groups {
+                    let members = &groups[gi].members;
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let slice = component.ratio / members.len() as f64;
+                    for &m in members {
+                        shares[m] += slice;
+                    }
+                }
+                // Eq. (5): new aggregated utility. The residual of group t'
+                // is v_{t'} − c_{t'}, where c_{t'} is the total charged to
+                // its members so far (post-charge, per the worked example);
+                // free groups are excluded from the min, and the multiplier
+                // is the number of counted covered groups.
+                let min_residual = component
+                    .covered_groups
+                    .iter()
+                    .filter(|&&gi| groups[gi].counted())
+                    .map(|&gi| {
+                        let charged: f64 =
+                            groups[gi].members.iter().map(|&m| shares[m]).sum();
+                        groups[gi].budget - charged
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let new_budget =
+                    component.counted_covered as f64 * min_residual.max(0.0);
+                let mut merged = GroupState {
+                    members: vec![],
+                    nodes: component.nodes.clone(),
+                    budget: new_budget,
+                    has_free: false,
+                };
+                for &v in &component.nodes {
+                    paid[v] = true;
+                }
+                let mut to_remove: Vec<usize> = component.covered_groups.clone();
+                to_remove.sort_unstable_by(|a, b| b.cmp(a));
+                for gi in to_remove {
+                    let gs = groups.swap_remove(gi);
+                    merged.members.extend(gs.members);
+                    merged.nodes.extend(gs.nodes);
+                    merged.has_free |= gs.has_free;
+                }
+                if merged.has_free && merged.members.is_empty() {
+                    // A group of free terminals only (no paying members)
+                    // keeps an unbounded budget.
+                    merged.budget = f64::INFINITY;
+                }
+                merged.members.sort_unstable();
+                merged.nodes.sort_unstable();
+                merged.nodes.dedup();
+                groups.push(merged);
+            } else {
+                // Drop rule and restart. PaperEq5 follows the paper
+                // (simultaneous drop of every below-threshold member);
+                // the tightened variant drops only the single weakest
+                // member per restart — simultaneous eviction is itself a
+                // source of non-tight thresholds (a member can be
+                // affordable in the world where only the weaker one left).
+                let mut dropped: Vec<usize> = Vec::new();
+                match config.aggregation {
+                    BudgetAggregation::PaperEq5 => {
+                        for &gi in &unaffordable {
+                            let gs = &groups[gi];
+                            let per_member = gs.budget / gs.members.len() as f64;
+                            let mut x: Vec<usize> = gs
+                                .members
+                                .iter()
+                                .copied()
+                                .filter(|&m| budgets[m] - shares[m] <= per_member + EPS)
+                                .collect();
+                            if x.is_empty() {
+                                // Defensive fallback: drop the weakest member.
+                                if let Some(&weakest) = gs.members.iter().min_by(|&&a, &&b| {
+                                    (budgets[a] - shares[a])
+                                        .total_cmp(&(budgets[b] - shares[b]))
+                                }) {
+                                    x.push(weakest);
+                                }
+                            }
+                            dropped.extend(x);
+                        }
+                    }
+                    BudgetAggregation::TightMemberResiduals => {
+                        let mut weakest: Option<(usize, f64)> = None;
+                        for &gi in &unaffordable {
+                            let gs = &groups[gi];
+                            let slice = component.ratio / gs.members.len() as f64;
+                            for &m in &gs.members {
+                                let gap = budgets[m] - shares[m] - slice;
+                                let better = match weakest {
+                                    None => true,
+                                    Some((wm, wg)) => {
+                                        gap < wg - EPS || (gap <= wg + EPS && m < wm)
+                                    }
+                                };
+                                if better {
+                                    weakest = Some((m, gap));
+                                }
+                            }
+                        }
+                        dropped.extend(weakest.map(|(m, _)| m));
+                    }
+                }
+                debug_assert!(!dropped.is_empty(), "restart must make progress");
+                active.retain(|idx| !dropped.contains(idx));
+                continue 'restart;
+            }
+        }
+    }
+}
+
+/// Run the plain approximation algorithm `A_ST` (all budgets infinite).
+pub fn nwst_approximate(
+    g: &NodeWeightedGraph,
+    terminals: &[usize],
+    config: &NwstConfig,
+) -> NwstOutcome {
+    let budgets = vec![f64::INFINITY; terminals.len()];
+    nwst_mechanism(g, terminals, &budgets, None, config)
+}
+
+fn finish(
+    g: &NodeWeightedGraph,
+    terminals: &[usize],
+    active: &[usize],
+    shares: Vec<f64>,
+    paid: &[bool],
+) -> NwstOutcome {
+    let tree_nodes: Vec<usize> = (0..g.len()).filter(|&v| paid[v]).collect();
+    // Spanning tree of the bought subgraph via BFS from the first active
+    // terminal, restricted to bought nodes.
+    let mut tree_edges = Vec::new();
+    if let Some(&first) = active.first() {
+        let root = terminals[first];
+        let mut seen = vec![false; g.len()];
+        seen[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if paid[v] && !seen[v] {
+                    seen[v] = true;
+                    tree_edges.push((u, v));
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    let cost = g.weight_of_set(&tree_nodes);
+    let mut receivers = active.to_vec();
+    receivers.sort_unstable();
+    NwstOutcome {
+        receivers,
+        shares,
+        tree_nodes,
+        tree_edges,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_geom::approx_eq;
+
+    /// Star: hub 0 (weight 2), terminals 1..=3 (weight 0) on the hub, and a
+    /// decoy heavy hub 4 (weight 9).
+    fn star() -> (NodeWeightedGraph, Vec<usize>) {
+        let mut g = NodeWeightedGraph::new(vec![2.0, 0.0, 0.0, 0.0, 9.0]);
+        for t in 1..=3 {
+            g.add_edge(0, t);
+            g.add_edge(4, t);
+        }
+        (g, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn approximation_buys_the_cheap_hub() {
+        let (g, ts) = star();
+        let out = nwst_approximate(&g, &ts, &NwstConfig::default());
+        assert_eq!(out.receivers, vec![0, 1, 2]);
+        assert!(approx_eq(out.cost, 2.0));
+        assert!(out.tree_nodes.contains(&0));
+        assert!(!out.tree_nodes.contains(&4));
+        // Shares: ratio 2/3 each; revenue = cost.
+        let revenue: f64 = out.shares.iter().sum();
+        assert!(approx_eq(revenue, 2.0));
+        for s in &out.shares {
+            assert!(approx_eq(*s, 2.0 / 3.0));
+        }
+    }
+
+    #[test]
+    fn unaffordable_terminal_is_dropped_and_rest_served() {
+        let (g, ts) = star();
+        // Ratio for all three is 2/3; terminal 2 reports only 0.1.
+        let out = nwst_mechanism(&g, &ts, &[1.0, 0.1, 1.0], None, &NwstConfig::default());
+        assert_eq!(out.receivers, vec![0, 2]);
+        assert_eq!(out.shares[1], 0.0);
+        // After the drop the two remaining terminals connect through the
+        // hub: cost 2, ratio 1 each, affordable at budget 1.
+        assert!(approx_eq(out.shares[0], 1.0));
+        assert!(approx_eq(out.shares[2], 1.0));
+        assert!(approx_eq(out.cost, 2.0));
+    }
+
+    #[test]
+    fn everyone_too_poor_yields_empty_outcome() {
+        let (g, ts) = star();
+        let out = nwst_mechanism(&g, &ts, &[0.01, 0.01, 0.01], None, &NwstConfig::default());
+        assert!(out.receivers.is_empty());
+        assert_eq!(out.cost, 0.0);
+        assert!(out.shares.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn single_terminal_served_for_free() {
+        let (g, _) = star();
+        let out = nwst_mechanism(&g, &[2], &[0.5], None, &NwstConfig::default());
+        assert_eq!(out.receivers, vec![0]);
+        assert!(approx_eq(out.cost, 0.0));
+    }
+
+    #[test]
+    fn free_terminal_pays_nothing_and_is_always_served() {
+        let (g, ts) = star();
+        // Terminal index 0 (node 1) is the free source.
+        let out = nwst_mechanism(
+            &g,
+            &ts,
+            &[0.0, 5.0, 5.0],
+            Some(0),
+            &NwstConfig::default(),
+        );
+        assert!(out.receivers.contains(&0));
+        assert_eq!(out.shares[0], 0.0);
+        // The other two split the hub cost: ratio 2/2 = 1 each.
+        assert!(approx_eq(out.shares[1], 1.0));
+        assert!(approx_eq(out.shares[2], 1.0));
+    }
+
+    #[test]
+    fn revenue_covers_cost_on_acceptance() {
+        // Path graph: t0 - a(3) - t1 - b(1) - t2 (terminals weight 0).
+        let mut g = NodeWeightedGraph::new(vec![0.0, 3.0, 0.0, 1.0, 0.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let out = nwst_approximate(&g, &[0, 2, 4], &NwstConfig::default());
+        let revenue: f64 = out.shares.iter().sum();
+        assert!(revenue + 1e-9 >= out.cost);
+        assert_eq!(out.receivers, vec![0, 1, 2]);
+        assert!(approx_eq(out.cost, 4.0));
+    }
+
+    #[test]
+    fn klein_ravi_config_also_works() {
+        let (g, ts) = star();
+        let cfg = NwstConfig {
+            min_spider_groups: 2,
+            branch_legs: false,
+            ..Default::default()
+        };
+        let out = nwst_approximate(&g, &ts, &cfg);
+        assert_eq!(out.receivers, vec![0, 1, 2]);
+        assert!(approx_eq(out.cost, 2.0));
+    }
+
+    #[test]
+    fn shares_are_report_independent_for_receivers() {
+        // Raising a receiver's report must not change its share
+        // (the strategyproofness core, Theorem 2.3).
+        let (g, ts) = star();
+        let base = nwst_mechanism(&g, &ts, &[1.0, 1.0, 1.0], None, &NwstConfig::default());
+        let raised = nwst_mechanism(&g, &ts, &[1.0, 7.0, 1.0], None, &NwstConfig::default());
+        assert_eq!(base.receivers, raised.receivers);
+        assert!(approx_eq(base.shares[1], raised.shares[1]));
+    }
+}

@@ -1,0 +1,389 @@
+//! Spiders, branch-spiders and min-ratio oracles (§2.2, after Guha–Khuller
+//! \[28\] and Klein–Ravi \[33\]).
+//!
+//! A *spider* is a tree with at most one node of degree > 2 (the center);
+//! a *branch-spider* merges branches (trees with ≤ 3 leaves, one being the
+//! root) at a center, so each leg reaches one **or two** terminals. The
+//! greedy NWST algorithm repeatedly buys the spider with the smallest
+//! `ratio = cost / #terminals` and shrinks it.
+//!
+//! The oracle here searches every center; legs are node-weighted shortest
+//! paths to terminal groups (Klein–Ravi legs) plus, when `branch_legs` is
+//! enabled, two-group legs routed through the best meeting node
+//! (Guha–Khuller-style branches). Leg assembly is greedy by marginal
+//! cost-per-group; overlapping legs may double-count interior nodes, which
+//! only *over-estimates* ratios (the bought node set is deduplicated, so
+//! accounting stays sound). DESIGN.md §3 records this as the documented
+//! engineering rendition of the 1.5 ln k oracle; realised ratios are
+//! measured in experiment T2.
+
+use crate::graph::NodeWeightedGraph;
+use wmcs_geom::EPS;
+
+/// A (possibly shrunk) terminal group the oracle can target.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Stable identifier (index in the driver's group list).
+    pub id: usize,
+    /// Graph nodes belonging to the group (all effective-weight 0).
+    pub nodes: Vec<usize>,
+    /// Whether the group counts toward spider ratios (the wireless
+    /// reduction's source terminal does not — §2.2.3).
+    pub counted: bool,
+}
+
+/// A candidate component: a spider / branch-spider / connecting path.
+#[derive(Debug, Clone)]
+pub struct SpiderCandidate {
+    /// The center node (for paths: one endpoint).
+    pub center: usize,
+    /// Ids of the groups the component touches.
+    pub covered_groups: Vec<usize>,
+    /// How many of those are counted.
+    pub counted_covered: usize,
+    /// All nodes of the component (deduplicated, including the center and
+    /// the group contact nodes).
+    pub nodes: Vec<usize>,
+    /// Effective cost charged for the component (≥ true weight of `nodes`).
+    pub cost: f64,
+    /// `cost / counted_covered`.
+    pub ratio: f64,
+}
+
+/// One leg candidate during assembly.
+struct Leg {
+    cost: f64,
+    groups: Vec<usize>, // indices into `groups`
+    counted: usize,
+    nodes: Vec<usize>,
+}
+
+/// Find the minimum-ratio spider covering at least `min_total_groups`
+/// groups (and ≥ 1 counted group). Returns `None` when no such component
+/// exists (e.g. fewer groups remain than `min_total_groups`).
+pub fn find_min_ratio_spider(
+    g: &NodeWeightedGraph,
+    groups: &[Group],
+    effective: &dyn Fn(usize) -> f64,
+    min_total_groups: usize,
+    branch_legs: bool,
+) -> Option<SpiderCandidate> {
+    if groups.len() < min_total_groups {
+        return None;
+    }
+    let n = g.len();
+    // Per-group node-weighted distances (dist includes the target's own
+    // effective weight; 0 at group nodes).
+    let per_group: Vec<(Vec<f64>, Vec<Option<usize>>)> = groups
+        .iter()
+        .map(|grp| g.dijkstra_from_set(&grp.nodes, effective))
+        .collect();
+
+    // Group owning each node (centers placed on a group's node cover that
+    // group for free).
+    let mut group_of_node: Vec<Option<usize>> = vec![None; n];
+    for (gi, grp) in groups.iter().enumerate() {
+        for &v in &grp.nodes {
+            group_of_node[v] = Some(gi);
+        }
+    }
+
+    let mut best: Option<SpiderCandidate> = None;
+    for center in 0..n {
+        // Distances *from* the center (excluding its weight at the start).
+        let (dist_v, parent_v) = if branch_legs {
+            let (d, p) = g.dijkstra_from_set(&[center], effective);
+            (Some(d), Some(p))
+        } else {
+            (None, None)
+        };
+        let mut legs: Vec<Leg> = Vec::new();
+        // Single-group legs.
+        for (gi, grp) in groups.iter().enumerate() {
+            let d = per_group[gi].0[center];
+            if !d.is_finite() {
+                continue;
+            }
+            let nodes = NodeWeightedGraph::path_from_parents(&per_group[gi].1, center);
+            legs.push(Leg {
+                cost: d - effective(center),
+                groups: vec![gi],
+                counted: usize::from(grp.counted),
+                nodes,
+            });
+        }
+        // Two-group branch legs through the best meeting node.
+        if let (Some(dist_v), Some(parent_v)) = (&dist_v, &parent_v) {
+            for gi in 0..groups.len() {
+                for gj in (gi + 1)..groups.len() {
+                    let mut best_meet: Option<(f64, usize)> = None;
+                    for m in 0..n {
+                        let (a, b, c) = (per_group[gi].0[m], per_group[gj].0[m], dist_v[m]);
+                        if !(a.is_finite() && b.is_finite() && c.is_finite()) {
+                            continue;
+                        }
+                        // Branch cost excluding the center: v→m path (incl.
+                        // m) + both group paths (excl. m's double count).
+                        let w = c + (a - effective(m)) + (b - effective(m));
+                        if best_meet.is_none_or(|(bw, _)| w < bw - EPS) {
+                            best_meet = Some((w, m));
+                        }
+                    }
+                    if let Some((w, m)) = best_meet {
+                        let mut nodes =
+                            NodeWeightedGraph::path_from_parents(parent_v, m);
+                        nodes.extend(NodeWeightedGraph::path_from_parents(
+                            &per_group[gi].1,
+                            m,
+                        ));
+                        nodes.extend(NodeWeightedGraph::path_from_parents(
+                            &per_group[gj].1,
+                            m,
+                        ));
+                        legs.push(Leg {
+                            cost: w,
+                            groups: vec![gi, gj],
+                            counted: usize::from(groups[gi].counted)
+                                + usize::from(groups[gj].counted),
+                            nodes,
+                        });
+                    }
+                }
+            }
+        }
+        // Greedy assembly by marginal cost per counted group (legs with no
+        // counted groups sorted by plain cost, used only to satisfy the
+        // structural minimum).
+        legs.sort_by(|a, b| {
+            let ka = if a.counted > 0 {
+                a.cost / a.counted as f64
+            } else {
+                f64::INFINITY
+            };
+            let kb = if b.counted > 0 {
+                b.cost / b.counted as f64
+            } else {
+                f64::INFINITY
+            };
+            ka.total_cmp(&kb).then(a.cost.total_cmp(&b.cost))
+        });
+        let mut covered = vec![false; groups.len()];
+        let mut cum_cost = effective(center);
+        let mut cum_counted = 0usize;
+        let mut cum_groups: Vec<usize> = Vec::new();
+        let mut cum_nodes: Vec<usize> = vec![center];
+        if let Some(own) = group_of_node[center] {
+            covered[own] = true;
+            cum_counted += usize::from(groups[own].counted);
+            cum_groups.push(groups[own].id);
+        }
+        for leg in &legs {
+            if leg.groups.iter().any(|&gi| covered[gi]) {
+                continue;
+            }
+            for &gi in &leg.groups {
+                covered[gi] = true;
+            }
+            cum_cost += leg.cost;
+            cum_counted += leg.counted;
+            cum_groups.extend(leg.groups.iter().map(|&gi| groups[gi].id));
+            cum_nodes.extend_from_slice(&leg.nodes);
+            if cum_groups.len() >= min_total_groups && cum_counted >= 1 {
+                let ratio = cum_cost / cum_counted as f64;
+                let better = match &best {
+                    None => true,
+                    Some(b) => ratio < b.ratio - EPS,
+                };
+                if better {
+                    let mut nodes = cum_nodes.clone();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    let mut covered_groups = cum_groups.clone();
+                    covered_groups.sort_unstable();
+                    best = Some(SpiderCandidate {
+                        center,
+                        covered_groups,
+                        counted_covered: cum_counted,
+                        nodes,
+                        cost: cum_cost,
+                        ratio,
+                    });
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Cheapest node-weighted connection between two groups (the "connect them
+/// optimally" step once two terminals remain). Returns the component as a
+/// pseudo-spider whose ratio counts the counted groups among the two.
+pub fn cheapest_connection(
+    g: &NodeWeightedGraph,
+    a: &Group,
+    b: &Group,
+    effective: &dyn Fn(usize) -> f64,
+) -> Option<SpiderCandidate> {
+    let (dist, parent) = g.dijkstra_from_set(&a.nodes, effective);
+    let (&target, &d) = b
+        .nodes
+        .iter()
+        .map(|t| (t, &dist[*t]))
+        .min_by(|x, y| x.1.total_cmp(y.1))?;
+    if !d.is_finite() {
+        return None;
+    }
+    let mut nodes = NodeWeightedGraph::path_from_parents(&parent, target);
+    nodes.sort_unstable();
+    nodes.dedup();
+    let counted = usize::from(a.counted) + usize::from(b.counted);
+    if counted == 0 {
+        return None;
+    }
+    Some(SpiderCandidate {
+        center: target,
+        covered_groups: {
+            let mut v = vec![a.id, b.id];
+            v.sort_unstable();
+            v
+        },
+        counted_covered: counted,
+        nodes,
+        cost: d,
+        ratio: d / counted as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_geom::approx_eq;
+
+    /// Star: center 0 (weight 2) adjacent to terminals 1, 2, 3 (weight 0);
+    /// an expensive alternative center 4 (weight 9) adjacent to the same.
+    fn star() -> (NodeWeightedGraph, Vec<Group>) {
+        let mut g = NodeWeightedGraph::new(vec![2.0, 0.0, 0.0, 0.0, 9.0]);
+        for t in 1..=3 {
+            g.add_edge(0, t);
+            g.add_edge(4, t);
+        }
+        let groups = (1..=3)
+            .map(|t| Group {
+                id: t - 1,
+                nodes: vec![t],
+                counted: true,
+            })
+            .collect();
+        (g, groups)
+    }
+
+    fn eff<'a>(g: &'a NodeWeightedGraph, terminals: &'a [usize]) -> impl Fn(usize) -> f64 + 'a {
+        move |v| {
+            if terminals.contains(&v) {
+                0.0
+            } else {
+                g.weight(v)
+            }
+        }
+    }
+
+    #[test]
+    fn star_center_is_min_ratio() {
+        let (g, groups) = star();
+        let e = eff(&g, &[1, 2, 3]);
+        let sp = find_min_ratio_spider(&g, &groups, &e, 3, false).expect("spider exists");
+        assert_eq!(sp.center, 0);
+        assert_eq!(sp.counted_covered, 3);
+        assert!(approx_eq(sp.ratio, 2.0 / 3.0));
+        assert_eq!(sp.covered_groups, vec![0, 1, 2]);
+        assert!(sp.nodes.contains(&0) && !sp.nodes.contains(&4));
+    }
+
+    #[test]
+    fn min_total_groups_is_respected() {
+        let (g, groups) = star();
+        let e = eff(&g, &[1, 2, 3]);
+        assert!(find_min_ratio_spider(&g, &groups[..2], &e, 3, false).is_none());
+        let two = find_min_ratio_spider(&g, &groups[..2], &e, 2, false).expect("2-spider");
+        assert!(approx_eq(two.ratio, 1.0));
+    }
+
+    #[test]
+    fn free_group_not_counted_in_ratio() {
+        let (g, mut groups) = star();
+        groups[0].counted = false; // say terminal 1 is the free source
+        let e = eff(&g, &[1, 2, 3]);
+        let sp = find_min_ratio_spider(&g, &groups, &e, 3, false).expect("spider");
+        assert_eq!(sp.counted_covered, 2);
+        assert!(approx_eq(sp.ratio, 1.0));
+    }
+
+    #[test]
+    fn branch_legs_route_through_meeting_nodes() {
+        // Path terminals: t1 - m - t2, with center v adjacent to m only.
+        //   v(w=1) — m(w=2) — {t1, t2} and a third terminal t3 — v.
+        let mut g = NodeWeightedGraph::new(vec![1.0, 2.0, 0.0, 0.0, 0.0]);
+        g.add_edge(0, 1); // v - m
+        g.add_edge(1, 2); // m - t1
+        g.add_edge(1, 3); // m - t2
+        g.add_edge(0, 4); // v - t3
+        let groups: Vec<Group> = [2usize, 3, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Group {
+                id: i,
+                nodes: vec![t],
+                counted: true,
+            })
+            .collect();
+        let e = eff(&g, &[2, 3, 4]);
+        let sp = find_min_ratio_spider(&g, &groups, &e, 3, true).expect("spider");
+        // Best: center v (1) + branch through m (2) covering t1, t2 + leg to
+        // t3 (0): total 3, ratio 1. Without branch legs the center must be m
+        // with ratio (2 + 1)/3 = 1 too — but via v it also works; just check
+        // the ratio is 1 and all groups are covered.
+        assert!(approx_eq(sp.ratio, 1.0));
+        assert_eq!(sp.covered_groups, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn connection_finds_cheapest_path() {
+        let mut g = NodeWeightedGraph::new(vec![0.0, 5.0, 1.0, 0.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 3);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        let a = Group {
+            id: 0,
+            nodes: vec![0],
+            counted: true,
+        };
+        let b = Group {
+            id: 1,
+            nodes: vec![3],
+            counted: true,
+        };
+        let e = eff(&g, &[0, 3]);
+        let c = cheapest_connection(&g, &a, &b, &e).expect("connected");
+        assert!(approx_eq(c.cost, 1.0)); // via node 2
+        assert!(approx_eq(c.ratio, 0.5));
+        assert!(c.nodes.contains(&2) && !c.nodes.contains(&1));
+    }
+
+    #[test]
+    fn connection_on_disconnected_graph_is_none() {
+        let g = NodeWeightedGraph::new(vec![0.0, 0.0]);
+        let a = Group {
+            id: 0,
+            nodes: vec![0],
+            counted: true,
+        };
+        let b = Group {
+            id: 1,
+            nodes: vec![1],
+            counted: true,
+        };
+        let e = |_: usize| 0.0;
+        assert!(cheapest_connection(&g, &a, &b, &e).is_none());
+    }
+}

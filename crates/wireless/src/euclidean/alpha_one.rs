@@ -1,0 +1,277 @@
+//! The `α = 1` Euclidean case (Lemma 3.1, first part).
+//!
+//! With linear attenuation the triangle inequality makes relaying useless:
+//! the optimal multicast to `R` is a single emission from the source at
+//! power `κ · max_{x ∈ R} dist(s, x)`. The optimal cost function is the
+//! *airport game* on source distances — non-decreasing, submodular, with a
+//! closed-form Shapley value and an `O(n log n)` largest-efficient-set
+//! computation (Theorem 3.2's "at most n − 1 candidate sets").
+
+use crate::network::WirelessNetwork;
+use crate::power::PowerAssignment;
+use wmcs_game::CostFunction;
+use wmcs_geom::EPS;
+
+/// Optimal solver and cost function for `α = 1` Euclidean networks.
+#[derive(Debug, Clone)]
+pub struct AlphaOneSolver {
+    net: WirelessNetwork,
+}
+
+impl AlphaOneSolver {
+    /// Wrap an `α = 1` Euclidean network.
+    pub fn new(net: WirelessNetwork) -> Self {
+        let model = net
+            .model()
+            .expect("AlphaOneSolver needs a Euclidean network");
+        assert!(
+            (model.alpha() - 1.0).abs() < EPS,
+            "Lemma 3.1's first case requires α = 1"
+        );
+        Self { net }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &WirelessNetwork {
+        &self.net
+    }
+
+    /// `C*(R)` for a station set: the farthest source distance (× κ).
+    pub fn optimal_cost(&self, receivers: &[usize]) -> f64 {
+        receivers
+            .iter()
+            .map(|&x| self.net.cost(self.net.source(), x))
+            .fold(0.0, f64::max)
+    }
+
+    /// An optimal power assignment: one emission from the source.
+    pub fn optimal_assignment(&self, receivers: &[usize]) -> PowerAssignment {
+        let mut pa = PowerAssignment::zero(self.net.n_stations());
+        pa.raise(self.net.source(), self.optimal_cost(receivers));
+        pa
+    }
+
+    /// Closed-form Shapley shares (airport game): sort receivers by source
+    /// cost `d_1 ≤ … ≤ d_k`; the increment `d_j − d_{j−1}` is split among
+    /// the `k − j + 1` receivers at least that far. Returns per-station
+    /// shares.
+    pub fn shapley_shares(&self, receivers: &[usize]) -> Vec<f64> {
+        let n = self.net.n_stations();
+        let mut shares = vec![0.0; n];
+        if receivers.is_empty() {
+            return shares;
+        }
+        let s = self.net.source();
+        let mut order: Vec<usize> = receivers.to_vec();
+        order.sort_by(|&a, &b| {
+            self.net
+                .cost(s, a)
+                .total_cmp(&self.net.cost(s, b))
+                .then(a.cmp(&b))
+        });
+        let k = order.len();
+        let mut acc = 0.0;
+        let mut prev = 0.0;
+        for (j, &x) in order.iter().enumerate() {
+            let d = self.net.cost(s, x);
+            acc += (d - prev) / (k - j) as f64;
+            prev = d;
+            shares[x] = acc;
+        }
+        shares
+    }
+
+    /// Largest efficient set (Theorem 3.2): candidates are distance
+    /// prefixes — pick a cutoff station `x`, serve everything at most as
+    /// far. Returns `(stations, net worth)` with utilities indexed by
+    /// station (source entry ignored).
+    pub fn largest_efficient_set(&self, u: &[f64]) -> (Vec<usize>, f64) {
+        let n = self.net.n_stations();
+        assert_eq!(u.len(), n);
+        let s = self.net.source();
+        let mut order: Vec<usize> = (0..n).filter(|&x| x != s).collect();
+        order.sort_by(|&a, &b| {
+            self.net
+                .cost(s, a)
+                .total_cmp(&self.net.cost(s, b))
+                .then(a.cmp(&b))
+        });
+        let mut best_w = 0.0f64;
+        let mut best_prefix = 0usize;
+        let mut acc_u = 0.0f64;
+        for (idx, &x) in order.iter().enumerate() {
+            acc_u += u[x].max(0.0);
+            let w = acc_u - self.net.cost(s, x);
+            // Prefer longer prefixes on ties (largest efficient set).
+            if w > best_w + EPS || (w >= best_w - EPS && idx + 1 > best_prefix) {
+                best_w = best_w.max(w);
+                best_prefix = idx + 1;
+            }
+        }
+        let mut set: Vec<usize> = order[..best_prefix].to_vec();
+        set.sort_unstable();
+        (set, best_w)
+    }
+}
+
+/// `C*` over players for the `α = 1` case.
+#[derive(Debug, Clone)]
+pub struct AlphaOneCost {
+    solver: AlphaOneSolver,
+}
+
+impl AlphaOneCost {
+    /// Wrap a solver.
+    pub fn new(solver: AlphaOneSolver) -> Self {
+        Self { solver }
+    }
+
+    /// Access the solver.
+    pub fn solver(&self) -> &AlphaOneSolver {
+        &self.solver
+    }
+}
+
+impl CostFunction for AlphaOneCost {
+    fn n_players(&self) -> usize {
+        self.solver.net.n_players()
+    }
+
+    fn cost_mask(&self, mask: u64) -> f64 {
+        let stations = self.solver.net.stations_of_player_mask(mask);
+        self.solver.optimal_cost(&stations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memt::memt_exact;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_game::{is_nondecreasing, is_submodular, shapley_value, ExplicitGame};
+    use wmcs_geom::{approx_eq, Point, PowerModel};
+
+    fn random_solver(seed: u64, n: usize) -> AlphaOneSolver {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
+            .collect();
+        AlphaOneSolver::new(WirelessNetwork::euclidean(pts, PowerModel::linear(), 0))
+    }
+
+    #[test]
+    fn optimal_cost_matches_exact_memt() {
+        for seed in 0..10 {
+            let solver = random_solver(seed, 6);
+            let receivers: Vec<usize> = (1..6).collect();
+            let (exact, _) = memt_exact(solver.network(), &receivers);
+            assert!(
+                approx_eq(solver.optimal_cost(&receivers), exact),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_feasible_and_optimal() {
+        let solver = random_solver(3, 7);
+        let receivers = vec![2, 4, 6];
+        let pa = solver.optimal_assignment(&receivers);
+        assert!(pa.multicasts_to(solver.network(), &receivers));
+        assert!(approx_eq(pa.total_cost(), solver.optimal_cost(&receivers)));
+    }
+
+    #[test]
+    fn lemma_3_1_alpha_one_submodular() {
+        for seed in 0..8 {
+            let cost = AlphaOneCost::new(random_solver(seed, 7));
+            let game = ExplicitGame::tabulate(&cost);
+            assert!(is_nondecreasing(&game));
+            assert!(is_submodular(&game));
+        }
+    }
+
+    #[test]
+    fn closed_form_shapley_matches_exact() {
+        for seed in 0..10 {
+            let cost = AlphaOneCost::new(random_solver(seed, 6));
+            let game = ExplicitGame::tabulate(&cost);
+            let n_players = game.n_players();
+            for mask in [0b11111u64, 0b01011, 0b10000, 0b00110] {
+                let mask = mask & ((1 << n_players) - 1);
+                let exact = shapley_value(&game, mask);
+                let stations = cost.solver().network().stations_of_player_mask(mask);
+                let fast = cost.solver().shapley_shares(&stations);
+                for p in 0..n_players {
+                    let st = cost.solver().network().station_of_player(p);
+                    assert!(
+                        (exact[p] - fast[st]).abs() < 1e-7,
+                        "seed {seed} mask {mask:b}: {} vs {}",
+                        exact[p],
+                        fast[st]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn efficient_set_matches_brute_force() {
+        use wmcs_game::subset::members_of;
+        for seed in 0..10 {
+            let solver = random_solver(seed, 7);
+            let cost = AlphaOneCost::new(solver);
+            let game = ExplicitGame::tabulate(&cost);
+            let n_players = game.n_players();
+            let mut rng = SmallRng::seed_from_u64(seed + 99);
+            let u_players: Vec<f64> = (0..n_players).map(|_| rng.gen_range(0.0..4.0)).collect();
+            let mut best = 0.0f64;
+            for mask in 0u64..(1 << n_players) {
+                let util: f64 = members_of(mask).iter().map(|&p| u_players[p]).sum();
+                best = best.max(util - game.cost_mask(mask));
+            }
+            let solver = cost.solver();
+            let mut u_st = vec![0.0; solver.network().n_stations()];
+            for p in 0..n_players {
+                u_st[solver.network().station_of_player(p)] = u_players[p];
+            }
+            let (set, nw) = solver.largest_efficient_set(&u_st);
+            assert!((nw - best).abs() < 1e-7, "seed {seed}: {nw} vs {best}");
+            // The set achieves the welfare it claims.
+            let got: f64 = set.iter().map(|&x| u_st[x]).sum::<f64>()
+                - solver.optimal_cost(&set);
+            assert!(approx_eq(got, nw));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "α = 1")]
+    fn wrong_alpha_rejected() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0)];
+        let _ = AlphaOneSolver::new(WirelessNetwork::euclidean(
+            pts,
+            PowerModel::free_space(),
+            0,
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn shapley_is_budget_balanced(seed in 0u64..400) {
+            let solver = random_solver(seed, 6);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a5a);
+            let receivers: Vec<usize> = (1..6).filter(|_| rng.gen_bool(0.6)).collect();
+            let shares = solver.shapley_shares(&receivers);
+            let total: f64 = shares.iter().sum();
+            prop_assert!(approx_eq(total, solver.optimal_cost(&receivers)));
+            for (x, sh) in shares.iter().enumerate() {
+                prop_assert!(*sh >= -1e-12);
+                if !receivers.contains(&x) {
+                    prop_assert!(sh.abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

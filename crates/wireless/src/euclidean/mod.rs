@@ -1,0 +1,12 @@
+//! Euclidean special cases of the multicast problem (§3.1).
+//!
+//! Lemma 3.1: for `α = 1` (any dimension) or `d = 1` (any gradient), the
+//! optimal multicast cost function is non-decreasing, submodular, and
+//! polynomial-time computable — yielding the optimally-BB Shapley mechanism
+//! and the efficient MC mechanism of Theorem 3.2.
+
+pub mod alpha_one;
+pub mod line;
+
+pub use alpha_one::{AlphaOneCost, AlphaOneSolver};
+pub use line::{LineCost, LineSolver};

@@ -1,0 +1,103 @@
+//! # wmcs-wireless — the wireless networking substrate
+//!
+//! Everything the paper's model (§1) needs, built from scratch:
+//!
+//! * [`network::WirelessNetwork`] — stations, a symmetric cost graph
+//!   `(S, c)`, a multicast source, and the station↔player index maps;
+//! * [`power::PowerAssignment`] — power vectors, induced transmission
+//!   digraphs, reachability, the tree→assignment Steiner heuristic;
+//! * [`universal`] — universal broadcast trees (§2.1): the submodular cost
+//!   function of Lemma 2.1, the paper's efficient Shapley split, and the
+//!   largest-efficient-set tree DP for the MC mechanism;
+//! * [`memt`] — exact minimum-energy multicast (set-state Dijkstra) and the
+//!   all-subsets `C*` table, the optimum reference for every β-BB claim;
+//! * [`mst_heuristic`] — the MST broadcast heuristic \[50\] and the KMB
+//!   Steiner multicast heuristic of §3.2;
+//! * [`bip`] — the BIP/MIP incremental-power heuristics of \[50\], ablation
+//!   baselines for T6;
+//! * [`euclidean`] — polynomial optimal solvers for `α = 1` and `d = 1`
+//!   (Lemma 3.1), with closed-form Shapley values.
+
+// Index loops over multiple parallel arrays are idiomatic in this
+// numeric code; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bip;
+pub mod euclidean;
+pub mod memt;
+pub mod mst_heuristic;
+pub mod network;
+pub mod power;
+pub mod universal;
+
+pub use bip::{bip_broadcast, mip_multicast};
+pub use euclidean::{AlphaOneCost, AlphaOneSolver, LineCost, LineSolver};
+pub use memt::{memt_exact, MemtCostTable, OptimalMulticastCost, MAX_EXACT_STATIONS};
+pub use mst_heuristic::{mst_broadcast, mst_multicast, steiner_multicast};
+pub use network::WirelessNetwork;
+pub use power::PowerAssignment;
+pub use universal::{UniversalTree, UniversalTreeCost};
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use wmcs_geom::{approx_eq, Point, PowerModel};
+
+    #[test]
+    fn universal_tree_cost_upper_bounds_optimum() {
+        // A universal tree is one feasible strategy; the exact optimum can
+        // only be cheaper.
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.5),
+            Point::xy(2.0, -0.5),
+            Point::xy(3.0, 0.3),
+            Point::xy(1.5, 2.0),
+        ];
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let ut = UniversalTree::shortest_path_tree(net.clone());
+        for receivers in [vec![3], vec![4], vec![1, 3], vec![1, 2, 3, 4]] {
+            let (opt, _) = memt_exact(&net, &receivers);
+            let tree_cost = ut.multicast_cost(&receivers);
+            assert!(
+                opt <= tree_cost + 1e-9,
+                "R = {receivers:?}: opt {opt} > tree {tree_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn steiner_heuristic_and_universal_tree_are_feasible() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(10.0, 0.0),
+            Point::xy(0.1, 3.0),
+        ];
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let (_, pa) = steiner_multicast(&net, &[1, 2]);
+        assert!(pa.multicasts_to(&net, &[1, 2]));
+        let ut = UniversalTree::shortest_path_tree(net.clone());
+        assert!(ut.power_assignment(&[1, 2]).multicasts_to(&net, &[1, 2]));
+        let (opt, _) = memt_exact(&net, &[1, 2]);
+        assert!(opt <= pa.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn line_alpha_one_agree_on_their_intersection() {
+        // d = 1 with α = 1: both special-case solvers are exact, so they
+        // must agree.
+        let pts: Vec<Point> = [0.0, 1.0, 3.0, 7.0]
+            .iter()
+            .map(|&x| Point::on_line(x))
+            .collect();
+        let net = WirelessNetwork::euclidean(pts, PowerModel::linear(), 0);
+        let line = LineSolver::new(net.clone());
+        let alpha = AlphaOneSolver::new(net);
+        for receivers in [vec![1], vec![3], vec![1, 2], vec![1, 2, 3]] {
+            assert!(approx_eq(
+                line.chain_cost(&receivers),
+                alpha.optimal_cost(&receivers)
+            ));
+        }
+    }
+}

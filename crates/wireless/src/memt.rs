@@ -1,0 +1,334 @@
+//! Exact minimum-energy multicast (MEMT) by set-state Dijkstra.
+//!
+//! MEMT is inapproximable within `(1−ε) ln n` in general (§1) — but on the
+//! small instances used to validate mechanisms and measure approximation
+//! ratios it can be solved *exactly*: run Dijkstra over the `2^n` subsets
+//! of reached stations, where a transition picks a reached transmitter and
+//! one of its discrete power levels (the distinct incident costs `C_i^m` of
+//! §2.2) and pays that level. The first popped state covering the target
+//! set is optimal: every optimal assignment can be replayed as such a
+//! transition sequence (order the transmitters along the multicast tree),
+//! and double-powering a transmitter is dominated by its single max level.
+
+use crate::network::WirelessNetwork;
+use crate::power::PowerAssignment;
+use wmcs_game::CostFunction;
+use wmcs_graph::IndexedMinHeap;
+
+/// Hard cap on stations for the exact solver (2^n states).
+pub const MAX_EXACT_STATIONS: usize = 20;
+
+/// Per-station discrete power levels with their reach masks.
+struct Levels {
+    /// `(power, mask of stations covered at that power)`, ascending power.
+    per_station: Vec<Vec<(f64, u64)>>,
+}
+
+impl Levels {
+    fn of(net: &WirelessNetwork) -> Self {
+        let n = net.n_stations();
+        let mut per_station = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut pairs: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (net.cost(i, j), j))
+                .collect();
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut levels: Vec<(f64, u64)> = Vec::new();
+            let mut mask = 0u64;
+            for (p, j) in pairs {
+                mask |= 1 << j;
+                match levels.last_mut() {
+                    Some((lp, lm)) if wmcs_geom::approx_eq(*lp, p) => *lm = mask,
+                    _ => levels.push((p, mask)),
+                }
+            }
+            per_station.push(levels);
+        }
+        Self { per_station }
+    }
+}
+
+/// Exact MEMT: minimum-cost power assignment multicasting from the source
+/// to all `targets`. Returns the optimal cost and an optimal assignment.
+pub fn memt_exact(net: &WirelessNetwork, targets: &[usize]) -> (f64, PowerAssignment) {
+    let n = net.n_stations();
+    assert!(n <= MAX_EXACT_STATIONS, "exact MEMT is exponential: n = {n}");
+    let s = net.source();
+    let target_mask: u64 = targets.iter().fold(1 << s, |m, &t| m | (1 << t));
+    if target_mask == 1 << s {
+        return (0.0, PowerAssignment::zero(n));
+    }
+    let levels = Levels::of(net);
+    let n_states = 1usize << n;
+    let mut dist = vec![f64::INFINITY; n_states];
+    let mut prev: Vec<Option<(u64, usize, f64)>> = vec![None; n_states];
+    let mut heap = IndexedMinHeap::new(n_states);
+    let start = (1u64 << s) as usize;
+    dist[start] = 0.0;
+    heap.push_or_decrease(start, 0.0);
+    while let Some((state, d)) = heap.pop() {
+        if d > dist[state] {
+            continue;
+        }
+        let m = state as u64;
+        if m & target_mask == target_mask {
+            // Reconstruct powers along the predecessor chain.
+            let mut pa = PowerAssignment::zero(n);
+            let mut cur = m;
+            while let Some((p_state, tx, power)) = prev[cur as usize] {
+                pa.raise(tx, power);
+                cur = p_state;
+            }
+            debug_assert!(pa.multicasts_to(net, targets));
+            return (d, pa);
+        }
+        for i in 0..n {
+            if m & (1 << i) == 0 {
+                continue;
+            }
+            for &(p, reach) in &levels.per_station[i] {
+                let nm = m | reach;
+                if nm == m {
+                    continue;
+                }
+                let nd = d + p;
+                if nd < dist[nm as usize] {
+                    dist[nm as usize] = nd;
+                    prev[nm as usize] = Some((m, i, p));
+                    heap.push_or_decrease(nm as usize, nd);
+                }
+            }
+        }
+    }
+    unreachable!("complete cost graphs always admit a multicast");
+}
+
+/// Table of `C*(R)` for **every** receiver subset, computed with one full
+/// set-state Dijkstra plus a superset-min zeta transform — `O(2^n · n²)`
+/// instead of `4^n` separate solves. Indexed by *station* mask (the source
+/// bit is ignored on lookup).
+pub struct MemtCostTable {
+    n: usize,
+    source: usize,
+    table: Vec<f64>,
+}
+
+impl MemtCostTable {
+    /// Build the full table.
+    pub fn build(net: &WirelessNetwork) -> Self {
+        let n = net.n_stations();
+        assert!(n <= MAX_EXACT_STATIONS, "exact MEMT is exponential: n = {n}");
+        let s = net.source();
+        let levels = Levels::of(net);
+        let n_states = 1usize << n;
+        let mut dist = vec![f64::INFINITY; n_states];
+        let mut heap = IndexedMinHeap::new(n_states);
+        let start = (1u64 << s) as usize;
+        dist[start] = 0.0;
+        heap.push_or_decrease(start, 0.0);
+        while let Some((state, d)) = heap.pop() {
+            if d > dist[state] {
+                continue;
+            }
+            let m = state as u64;
+            for i in 0..n {
+                if m & (1 << i) == 0 {
+                    continue;
+                }
+                for &(p, reach) in &levels.per_station[i] {
+                    let nm = (m | reach) as usize;
+                    if nm == state {
+                        continue;
+                    }
+                    let nd = d + p;
+                    if nd < dist[nm] {
+                        dist[nm] = nd;
+                        heap.push_or_decrease(nm, nd);
+                    }
+                }
+            }
+        }
+        // Superset-min: C*(R) = min over reached states ⊇ R ∪ {s}.
+        let mut table = dist;
+        for b in 0..n {
+            for m in 0..n_states {
+                if m & (1 << b) == 0 {
+                    let sup = table[m | (1 << b)];
+                    if sup < table[m] {
+                        table[m] = sup;
+                    }
+                }
+            }
+        }
+        Self {
+            n,
+            source: s,
+            table,
+        }
+    }
+
+    /// `C*(R)` for a station set given as a mask (source bit optional).
+    pub fn cost_of_station_mask(&self, mask: u64) -> f64 {
+        self.table[(mask | (1 << self.source)) as usize]
+    }
+
+    /// `C*(R)` for an explicit station list.
+    pub fn cost_of_stations(&self, stations: &[usize]) -> f64 {
+        let mask = stations.iter().fold(0u64, |m, &x| {
+            assert!(x < self.n);
+            m | (1 << x)
+        });
+        self.cost_of_station_mask(mask)
+    }
+}
+
+/// `C*` as a coalition cost function over players — the object whose
+/// structure §3 interrogates (submodular for α = 1 or d = 1, Lemma 3.1;
+/// possibly empty-core otherwise, Lemma 3.3).
+pub struct OptimalMulticastCost {
+    net: WirelessNetwork,
+    table: MemtCostTable,
+}
+
+impl OptimalMulticastCost {
+    /// Precompute the exact cost table for a network.
+    pub fn new(net: WirelessNetwork) -> Self {
+        let table = MemtCostTable::build(&net);
+        Self { net, table }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &WirelessNetwork {
+        &self.net
+    }
+}
+
+impl CostFunction for OptimalMulticastCost {
+    fn n_players(&self) -> usize {
+        self.net.n_players()
+    }
+
+    fn cost_mask(&self, mask: u64) -> f64 {
+        let stations = self.net.stations_of_player_mask(mask);
+        self.table.cost_of_stations(&stations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_geom::{approx_eq, Point, PowerModel};
+
+    fn line_net(n: usize) -> WirelessNetwork {
+        let pts = (0..n).map(|i| Point::on_line(i as f64)).collect();
+        WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0)
+    }
+
+    #[test]
+    fn relay_chain_is_optimal_for_alpha_two() {
+        let net = line_net(4);
+        let (cost, pa) = memt_exact(&net, &[3]);
+        // Unit hops beat any direct jump for α = 2: cost 3.
+        assert!(approx_eq(cost, 3.0));
+        assert!(pa.multicasts_to(&net, &[3]));
+        assert!(approx_eq(pa.total_cost(), cost));
+    }
+
+    #[test]
+    fn empty_target_set_is_free() {
+        let net = line_net(4);
+        let (cost, pa) = memt_exact(&net, &[]);
+        assert_eq!(cost, 0.0);
+        assert_eq!(pa.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn broadcast_on_line_costs_sum_of_hops() {
+        let net = line_net(5);
+        let (cost, _) = memt_exact(&net, &[1, 2, 3, 4]);
+        assert!(approx_eq(cost, 4.0));
+    }
+
+    #[test]
+    fn wireless_advantage_beats_tree_costs() {
+        // Source in the middle of two receivers at equal distance: one
+        // transmission serves both.
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0), Point::xy(-1.0, 0.0)];
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let (cost, pa) = memt_exact(&net, &[1, 2]);
+        assert!(approx_eq(cost, 1.0));
+        assert!(approx_eq(pa.power(0), 1.0));
+    }
+
+    #[test]
+    fn table_matches_individual_solves() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pts: Vec<Point> = (0..6)
+            .map(|_| Point::xy(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)))
+            .collect();
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let table = MemtCostTable::build(&net);
+        for mask in 0u64..(1 << 6) {
+            let stations: Vec<usize> = (0..6).filter(|&x| mask & (1 << x) != 0 && x != 0).collect();
+            let (exact, _) = memt_exact(&net, &stations);
+            let tab = table.cost_of_stations(&stations);
+            assert!(
+                approx_eq(exact, tab),
+                "mask {mask:b}: solve {exact} ≠ table {tab}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_function_is_monotone() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<Point> = (0..6)
+            .map(|_| Point::xy(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)))
+            .collect();
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let c = OptimalMulticastCost::new(net);
+        assert!(wmcs_game::is_nondecreasing(&c));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn exact_is_lower_bound_for_any_feasible_assignment(seed in 0u64..300) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(3usize..7);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::xy(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)))
+                .collect();
+            let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+            let targets: Vec<usize> = (1..n).filter(|_| rng.gen_bool(0.7)).collect();
+            let (opt, pa_opt) = memt_exact(&net, &targets);
+            prop_assert!(pa_opt.multicasts_to(&net, &targets));
+            // Compare against a feasible heuristic: source blasts directly
+            // to the farthest target.
+            let direct = targets
+                .iter()
+                .map(|&t| net.cost(0, t))
+                .fold(0.0, f64::max);
+            prop_assert!(opt <= direct + 1e-9,
+                "exact {opt} beat by direct blast {direct}");
+        }
+
+        #[test]
+        fn alpha_one_optimum_is_farthest_distance(seed in 0u64..200) {
+            // Lemma 3.1 (α = 1): C*(R) = max distance from the source.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(3usize..7);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::xy(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)))
+                .collect();
+            let net = WirelessNetwork::euclidean(pts.clone(), PowerModel::linear(), 0);
+            let targets: Vec<usize> = (1..n).collect();
+            let (opt, _) = memt_exact(&net, &targets);
+            let far = (1..n).map(|t| pts[0].dist(&pts[t])).fold(0.0, f64::max);
+            prop_assert!(approx_eq(opt, far));
+        }
+    }
+}

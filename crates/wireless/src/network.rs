@@ -1,0 +1,192 @@
+//! Wireless networks: stations, a symmetric transmission-cost graph and a
+//! distinguished source.
+//!
+//! The paper's model (§1): a network is a complete cost graph `(S, c)`;
+//! stations act as selfish agents except the source `s`. Throughout the
+//! workspace, *stations* are indexed `0..n` and *players* (the agents of
+//! the cost-sharing games) are the stations except the source, in station
+//! order.
+
+use wmcs_geom::{Point, PowerModel};
+use wmcs_graph::CostMatrix;
+
+/// A symmetric wireless network with a designated multicast source.
+#[derive(Debug, Clone)]
+pub struct WirelessNetwork {
+    costs: CostMatrix,
+    source: usize,
+    /// Euclidean coordinates when the network was built from points
+    /// (general symmetric networks have none).
+    points: Option<Vec<Point>>,
+    model: Option<PowerModel>,
+}
+
+impl WirelessNetwork {
+    /// Euclidean network: stations at `points`, costs `κ · dist^α`,
+    /// multicast source `source`.
+    pub fn euclidean(points: Vec<Point>, model: PowerModel, source: usize) -> Self {
+        assert!(source < points.len());
+        let costs = CostMatrix::from_points(&points, &model);
+        Self {
+            costs,
+            source,
+            points: Some(points),
+            model: Some(model),
+        }
+    }
+
+    /// General symmetric network from an explicit cost matrix.
+    pub fn symmetric(costs: CostMatrix, source: usize) -> Self {
+        assert!(source < costs.len());
+        Self {
+            costs,
+            source,
+            points: None,
+            model: None,
+        }
+    }
+
+    /// Number of stations (including the source).
+    pub fn n_stations(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of players (stations except the source).
+    pub fn n_players(&self) -> usize {
+        self.n_stations() - 1
+    }
+
+    /// The source station.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The symmetric transmission cost `c(i, j)`.
+    pub fn cost(&self, i: usize, j: usize) -> f64 {
+        self.costs.cost(i, j)
+    }
+
+    /// The underlying cost matrix.
+    pub fn costs(&self) -> &CostMatrix {
+        &self.costs
+    }
+
+    /// Station coordinates, if Euclidean.
+    pub fn points(&self) -> Option<&[Point]> {
+        self.points.as_deref()
+    }
+
+    /// Power model, if Euclidean.
+    pub fn model(&self) -> Option<&PowerModel> {
+        self.model.as_ref()
+    }
+
+    /// Station index of player `p` (players skip the source).
+    pub fn station_of_player(&self, p: usize) -> usize {
+        assert!(p < self.n_players());
+        if p < self.source {
+            p
+        } else {
+            p + 1
+        }
+    }
+
+    /// Player index of station `x` (None for the source).
+    pub fn player_of_station(&self, x: usize) -> Option<usize> {
+        assert!(x < self.n_stations());
+        match x.cmp(&self.source) {
+            std::cmp::Ordering::Less => Some(x),
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some(x - 1),
+        }
+    }
+
+    /// Translate a player bitmask into the station list it denotes.
+    pub fn stations_of_player_mask(&self, mask: u64) -> Vec<usize> {
+        (0..self.n_players())
+            .filter(|&p| mask & (1 << p) != 0)
+            .map(|p| self.station_of_player(p))
+            .collect()
+    }
+
+    /// Translate a station list into a player bitmask (the source is
+    /// ignored).
+    pub fn player_mask_of_stations(&self, stations: &[usize]) -> u64 {
+        let mut mask = 0u64;
+        for &x in stations {
+            if let Some(p) = self.player_of_station(x) {
+                mask |= 1 << p;
+            }
+        }
+        mask
+    }
+
+    /// All stations except the source, ascending.
+    pub fn non_source_stations(&self) -> Vec<usize> {
+        (0..self.n_stations()).filter(|&x| x != self.source).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmcs_geom::approx_eq;
+
+    fn net() -> WirelessNetwork {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(0.0, 2.0),
+            Point::xy(3.0, 4.0),
+        ];
+        WirelessNetwork::euclidean(pts, PowerModel::free_space(), 1)
+    }
+
+    #[test]
+    fn cost_matches_model() {
+        let n = net();
+        assert!(approx_eq(n.cost(0, 3), 25.0));
+        assert!(approx_eq(n.cost(0, 1), 1.0));
+    }
+
+    #[test]
+    fn player_station_round_trip() {
+        let n = net(); // source = 1, players ↔ stations {0, 2, 3}
+        assert_eq!(n.n_players(), 3);
+        assert_eq!(n.station_of_player(0), 0);
+        assert_eq!(n.station_of_player(1), 2);
+        assert_eq!(n.station_of_player(2), 3);
+        assert_eq!(n.player_of_station(0), Some(0));
+        assert_eq!(n.player_of_station(1), None);
+        assert_eq!(n.player_of_station(3), Some(2));
+        for p in 0..n.n_players() {
+            assert_eq!(n.player_of_station(n.station_of_player(p)), Some(p));
+        }
+    }
+
+    #[test]
+    fn mask_translations() {
+        let n = net();
+        let stations = n.stations_of_player_mask(0b101);
+        assert_eq!(stations, vec![0, 3]);
+        assert_eq!(n.player_mask_of_stations(&[0, 3]), 0b101);
+        // Source is ignored in the reverse direction.
+        assert_eq!(n.player_mask_of_stations(&[0, 1, 3]), 0b101);
+    }
+
+    #[test]
+    fn symmetric_constructor_has_no_geometry() {
+        let m = CostMatrix::from_fn(3, |i, j| (i + j) as f64);
+        let n = WirelessNetwork::symmetric(m, 0);
+        assert!(n.points().is_none());
+        assert!(n.model().is_none());
+        assert_eq!(n.non_source_stations(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_source_rejected() {
+        let m = CostMatrix::from_fn(2, |_, _| 1.0);
+        let _ = WirelessNetwork::symmetric(m, 5);
+    }
+}

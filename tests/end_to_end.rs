@@ -1,0 +1,142 @@
+//! End-to-end integration: one network, every mechanism, every axiom.
+
+use multicast_cost_sharing::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wmcs_game::{
+    verify_budget_balance, verify_consumer_sovereignty, verify_no_positive_transfers,
+    verify_voluntary_participation,
+};
+
+fn network(seed: u64, n: usize) -> WirelessNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
+        .collect();
+    WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0)
+}
+
+fn axioms(mech: &impl Mechanism, u: &[f64]) {
+    let out = mech.run(u);
+    assert!(verify_no_positive_transfers(&out), "NPT");
+    assert!(verify_voluntary_participation(&out, u), "VP");
+    assert!(verify_consumer_sovereignty(mech, u, 1e12), "CS");
+}
+
+#[test]
+fn all_mechanisms_satisfy_npt_vp_cs_on_the_same_network() {
+    let net = network(42, 7);
+    let u = vec![9.0, 3.0, 25.0, 0.5, 14.0, 7.0];
+    axioms(
+        &UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone())),
+        &u,
+    );
+    axioms(
+        &UniversalMcMechanism::new(UniversalTree::mst_tree(net.clone())),
+        &u,
+    );
+    axioms(&EuclideanSteinerMechanism::new(net.clone()), &u);
+    axioms(&WirelessMulticastMechanism::new(net.clone()), &u);
+}
+
+#[test]
+fn budget_balance_hierarchy_on_rich_profiles() {
+    // With everyone rich: Shapley is exactly BB against its tree cost, the
+    // JV mechanism is 12-BB against the exact optimum, and the wireless
+    // mechanism is 3 ln(k+1)-BB against the exact optimum.
+    let net = network(7, 7);
+    let u = vec![1e9; 6];
+    let stations: Vec<usize> = (1..7).collect();
+    let (opt, _) = memt_exact(&net, &stations);
+
+    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let out = sh.run(&u);
+    assert!(verify_budget_balance(&out, 1.0, out.served_cost));
+
+    let jv = EuclideanSteinerMechanism::new(net.clone());
+    let out = jv.run(&u);
+    assert!(verify_budget_balance(&out, 12.0, opt));
+
+    let w = WirelessMulticastMechanism::new(net.clone());
+    let out = w.run(&u);
+    let beta = (3.0 * 7.0f64.ln()).max(4.0);
+    assert!(verify_budget_balance(&out, beta, opt));
+}
+
+#[test]
+fn efficiency_ordering_mc_dominates_all() {
+    // The MC mechanism's welfare dominates every other mechanism's
+    // receiver welfare (efficiency, §1.1), measured with true utilities.
+    let net = network(3, 7);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let u: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..30.0)).collect();
+    let welfare = |out: &MechanismOutcome| -> f64 {
+        out.receivers
+            .iter()
+            .map(|&p| u[p] - out.shares[p])
+            .sum::<f64>()
+    };
+    // MC's *net worth* (utilities minus cost) is the systemwide optimum for
+    // the universal-tree cost structure.
+    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let mc_out = mc.run(&u);
+    let mc_netwealth: f64 = mc_out
+        .receivers
+        .iter()
+        .map(|&p| u[p])
+        .sum::<f64>()
+        - mc_out.served_cost;
+    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let sh_out = sh.run(&u);
+    let sh_netwealth: f64 = sh_out
+        .receivers
+        .iter()
+        .map(|&p| u[p])
+        .sum::<f64>()
+        - sh_out.served_cost;
+    assert!(mc_netwealth + 1e-9 >= sh_netwealth);
+    // Receiver welfare under MC is at least the Shapley receivers' (VCG
+    // payments never exceed marginal value).
+    assert!(welfare(&mc_out) >= -1e-9);
+}
+
+#[test]
+fn the_two_counterexample_instances_ship_and_reproduce() {
+    // Fig. 1.
+    let (g, terminals, u) = fig1_instance();
+    let m = NwstCostSharingMechanism::new(g, terminals);
+    let truthful = m.run(&u);
+    assert_eq!(truthful.receivers.len(), 4);
+    assert!(find_unilateral_deviation(&m, &u, 1e-7).is_none());
+    assert!(find_group_deviation(&m, &u, 4, 1e-7).is_some());
+    // Fig. 2.
+    let inst = PentagonInstance::new(25.0);
+    assert!(multicast_cost_sharing::game::core_is_empty(&inst.cost_game()));
+}
+
+#[test]
+fn assignments_returned_by_mechanisms_actually_multicast() {
+    for seed in [1u64, 5, 9] {
+        let net = network(seed, 6);
+        let u = vec![50.0; 5];
+        let jv = EuclideanSteinerMechanism::new(net.clone());
+        let full = jv.run_full(&u);
+        let stations: Vec<usize> = full
+            .outcome
+            .receivers
+            .iter()
+            .map(|&p| net.station_of_player(p))
+            .collect();
+        assert!(full.assignment.multicasts_to(&net, &stations));
+
+        let w = WirelessMulticastMechanism::new(net.clone());
+        let full = w.run_full(&u);
+        let stations: Vec<usize> = full
+            .outcome
+            .receivers
+            .iter()
+            .map(|&p| net.station_of_player(p))
+            .collect();
+        assert!(full.assignment.multicasts_to(&net, &stations));
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate property tests on the public API.
+
+use multicast_cost_sharing::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn network(seed: u64, n: usize, alpha: f64) -> WirelessNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
+        .collect();
+    WirelessNetwork::euclidean(pts, PowerModel::with_alpha(alpha), 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mechanism outcome: shares are non-negative, zero outside the
+    /// receiver set, and receivers can afford them.
+    #[test]
+    fn universal_shapley_outcome_invariants(seed in 0u64..500, scale in 1.0..100.0f64) {
+        let net = network(seed, 6, 2.0);
+        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xf0f0);
+        let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..scale)).collect();
+        let out = mech.run(&u);
+        for p in 0..5 {
+            prop_assert!(out.shares[p] >= -1e-12);
+            if !out.receivers.contains(&p) {
+                prop_assert!(out.shares[p].abs() < 1e-12);
+            } else {
+                prop_assert!(out.shares[p] <= u[p] + 1e-9);
+            }
+        }
+        prop_assert!((out.revenue() - out.served_cost).abs() < 1e-6);
+    }
+
+    /// The exact optimum is a lower bound for every mechanism's built
+    /// solution cost.
+    #[test]
+    fn no_mechanism_beats_the_exact_optimum(seed in 0u64..300) {
+        let net = network(seed, 6, 2.0);
+        let u = vec![1e9; 5];
+        let stations: Vec<usize> = (1..6).collect();
+        let (opt, _) = memt_exact(&net, &stations);
+        let jv = EuclideanSteinerMechanism::new(net.clone());
+        prop_assert!(jv.run(&u).served_cost >= opt - 1e-9);
+        let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+        prop_assert!(sh.run(&u).served_cost >= opt - 1e-9);
+        let w = WirelessMulticastMechanism::new(net);
+        prop_assert!(w.run(&u).served_cost >= opt - 1e-9);
+    }
+
+    /// Raising one report never shrinks the Moulin–Shenker receiver set
+    /// (cross-monotonic drop dynamics).
+    #[test]
+    fn receiver_sets_are_monotone_in_reports(seed in 0u64..200) {
+        let net = network(seed, 6, 2.0);
+        let mech = EuclideanSteinerMechanism::new(net);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1dea);
+        let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..20.0)).collect();
+        let before = mech.run(&u);
+        let mut u2 = u.clone();
+        let bump = rng.gen_range(0..5);
+        u2[bump] += 50.0;
+        let after = mech.run(&u2);
+        for p in before.receivers {
+            prop_assert!(after.receivers.contains(&p),
+                "raising {bump}'s report evicted player {p}");
+        }
+    }
+
+    /// The line chain solver is scale-equivariant: scaling positions by s
+    /// scales costs by s^α.
+    #[test]
+    fn line_solver_scale_equivariance(seed in 0u64..200, s in 1.1..3.0f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 6usize;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        xs.sort_by(f64::total_cmp);
+        let alpha = 2.0;
+        let base: Vec<Point> = xs.iter().map(|&x| Point::on_line(x)).collect();
+        let scaled: Vec<Point> = xs.iter().map(|&x| Point::on_line(x * s)).collect();
+        let nb = WirelessNetwork::euclidean(base, PowerModel::with_alpha(alpha), 0);
+        let ns = WirelessNetwork::euclidean(scaled, PowerModel::with_alpha(alpha), 0);
+        let lb = LineSolver::new(nb);
+        let ls = LineSolver::new(ns);
+        let receivers: Vec<usize> = (1..n).collect();
+        let (cb, _) = lb.solve(&receivers);
+        let (cs, _) = ls.solve(&receivers);
+        prop_assert!((cs - cb * s.powf(alpha)).abs() < 1e-6 * cs.max(1.0));
+    }
+
+    /// Exact MEMT is monotone in the target set and invariant to target
+    /// order.
+    #[test]
+    fn memt_exact_monotonicity(seed in 0u64..200) {
+        let net = network(seed, 6, 2.0);
+        let (c_small, _) = memt_exact(&net, &[1, 2]);
+        let (c_large, _) = memt_exact(&net, &[1, 2, 3, 4]);
+        prop_assert!(c_small <= c_large + 1e-9);
+        let (c_perm, _) = memt_exact(&net, &[2, 1]);
+        prop_assert!((c_small - c_perm).abs() < 1e-12);
+    }
+
+    /// Shapley value of the pentagon game still sums to the grand cost
+    /// even though the game is not submodular.
+    #[test]
+    fn pentagon_shapley_budget_identity(m in 1.0..50.0f64) {
+        let inst = PentagonInstance::new(m);
+        let game = inst.cost_game();
+        let phi = shapley_value(&game, 0b11111);
+        let total: f64 = phi.iter().sum();
+        prop_assert!((total - game.cost_mask(0b11111)).abs() < 1e-6 * total);
+    }
+}
