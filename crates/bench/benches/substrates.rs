@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use wmcs_bench::harness::{random_euclidean, random_nwst};
 use wmcs_game::{core_is_empty, ExplicitGame};
-use wmcs_graph::{
-    dijkstra, jv_steiner_shares, kmb_steiner, moat_growing, prim_mst, JvSharing,
-};
+use wmcs_graph::{dijkstra, jv_steiner_shares, kmb_steiner, moat_growing, prim_mst, JvSharing};
 use wmcs_nwst::{nwst_approximate, NwstConfig};
 
 fn graph_basics(c: &mut Criterion) {

@@ -1,5 +1,8 @@
 //! Regenerate experiment T1 (see EXPERIMENTS.md). Optional arg: seeds per cell.
 fn main() {
-    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     wmcs_bench::experiments::t1::run(seeds).emit();
 }

@@ -15,7 +15,13 @@ pub fn run() -> Table {
         "F1",
         "Fig. 1 collusion (NWST mechanism, §2.2.2)",
         "truthful welfares (3/2, 3/2, 3/2, 0); after x7 reports 3/2−ε: (5/3, 5/3, 5/3, 0)",
-        &["agent", "paper w(u)", "measured w(u)", "paper w(v)", "measured w(v)"],
+        &[
+            "agent",
+            "paper w(u)",
+            "measured w(u)",
+            "paper w(v)",
+            "measured w(v)",
+        ],
     );
 
     let truthful = mech.run(&u);

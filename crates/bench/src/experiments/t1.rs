@@ -4,8 +4,8 @@
 
 use crate::harness::{parallel_map_seeds, random_euclidean, random_utilities, Table};
 use wmcs_game::{
-    find_group_deviation, find_unilateral_deviation, is_nondecreasing, is_submodular,
-    CostFunction, ExplicitGame,
+    find_group_deviation, find_unilateral_deviation, is_nondecreasing, is_submodular, CostFunction,
+    ExplicitGame,
 };
 use wmcs_mechanisms::{UniversalMcMechanism, UniversalShapleyMechanism};
 use wmcs_wireless::{UniversalTree, UniversalTreeCost};
@@ -94,13 +94,22 @@ pub fn run(seeds_per_cell: u64) -> Table {
         ],
     );
     let mut all_good = true;
-    for &(n, use_mst) in &[(6usize, false), (6, true), (8, false), (8, true), (10, false)] {
+    for &(n, use_mst) in &[
+        (6usize, false),
+        (6, true),
+        (8, false),
+        (8, true),
+        (10, false),
+    ] {
         let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 37 + n as u64).collect();
         let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, use_mst));
         let submod = rows.iter().all(|r| r.submodular);
         let mono = rows.iter().all(|r| r.monotone);
         let bb = rows.iter().map(|r| r.max_bb_err).fold(0.0, f64::max);
-        let eff_min = rows.iter().map(|r| r.mc_efficiency).fold(f64::INFINITY, f64::min);
+        let eff_min = rows
+            .iter()
+            .map(|r| r.mc_efficiency)
+            .fold(f64::INFINITY, f64::min);
         let devs: usize = rows.iter().map(|r| r.deviations).sum();
         all_good &= submod && mono && bb < 1e-6 && (eff_min - 1.0).abs() < 1e-6 && devs == 0;
         t.push_row(vec![

@@ -65,7 +65,13 @@ pub fn run(seeds_per_cell: u64) -> Table {
         "Euclidean optimal mechanisms (Lemma 3.1 / Thm 3.2)",
         "α=1: solver exact, C* submodular, Shapley 1-BB. d=1: chain form submodular & 1-BB \
          w.r.t. itself; measured β vs TRUE optimum exposes the Lemma 3.1(d=1) gap (DESIGN.md §3a)",
-        &["case", "seeds", "exact/submod", "1-BB vs own C", "β vs true C* (mean/max)"],
+        &[
+            "case",
+            "seeds",
+            "exact/submod",
+            "1-BB vs own C",
+            "β vs true C* (mean/max)",
+        ],
     );
     let mut all_good = true;
 
@@ -86,13 +92,10 @@ pub fn run(seeds_per_cell: u64) -> Table {
     }
 
     for &alpha in &[1.0f64, 2.0, 3.0] {
-        let seeds: Vec<u64> = (0..seeds_per_cell)
-            .map(|s| s * 29 + alpha as u64)
-            .collect();
+        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 29 + alpha as u64).collect();
         let rows = parallel_map_seeds(&seeds, |seed| line(seed, 7, alpha));
         let submod = rows.iter().all(|r| r.submodular_chain);
-        let mean_beta =
-            rows.iter().map(|r| r.shapley_vs_true).sum::<f64>() / rows.len() as f64;
+        let mean_beta = rows.iter().map(|r| r.shapley_vs_true).sum::<f64>() / rows.len() as f64;
         let max_beta = rows.iter().map(|r| r.shapley_vs_true).fold(0.0, f64::max);
         let max_gap = rows.iter().map(|r| r.chain_gap).fold(0.0, f64::max);
         // Chain form must be submodular and upper-bound the optimum.

@@ -48,26 +48,11 @@ pub fn run(seeds_per_cell: u64) -> Table {
     );
     type Cell<'a> = (&'a str, Box<dyn Fn(u64) -> bool + Sync>);
     let cells: Vec<Cell> = vec![
-        (
-            "d=2, α=2, n=7",
-            Box::new(|s| violated_2d(s, 7, 2.0)),
-        ),
-        (
-            "d=2, α=4, n=7",
-            Box::new(|s| violated_2d(s, 7, 4.0)),
-        ),
-        (
-            "d=1, α=2, n=7",
-            Box::new(|s| violated_line(s, 7, 2.0)),
-        ),
-        (
-            "d=1, α=3, n=7",
-            Box::new(|s| violated_line(s, 7, 3.0)),
-        ),
-        (
-            "d=2, α=1, n=7",
-            Box::new(|s| violated_2d(s, 7, 1.0)),
-        ),
+        ("d=2, α=2, n=7", Box::new(|s| violated_2d(s, 7, 2.0))),
+        ("d=2, α=4, n=7", Box::new(|s| violated_2d(s, 7, 4.0))),
+        ("d=1, α=2, n=7", Box::new(|s| violated_line(s, 7, 2.0))),
+        ("d=1, α=3, n=7", Box::new(|s| violated_line(s, 7, 3.0))),
+        ("d=2, α=1, n=7", Box::new(|s| violated_2d(s, 7, 1.0))),
     ];
     let mut alpha_one_clean = true;
     let mut line_violations = 0usize;
@@ -101,7 +86,11 @@ pub fn run(seeds_per_cell: u64) -> Table {
         "α=1 never violates ({}); α>1 violations are common for d=2 and exist — contrary to \
          Lemma 3.1(d=1) — on the line too (random rate ~1/1000; {} random hits here, pinned \
          witness {})",
-        if alpha_one_clean { "as proved" } else { "UNEXPECTED VIOLATION" },
+        if alpha_one_clean {
+            "as proved"
+        } else {
+            "UNEXPECTED VIOLATION"
+        },
         line_violations,
         if pinned { "reproduces" } else { "FAILED" }
     );

@@ -101,10 +101,7 @@ impl Table {
 
 /// Map a function over seeds in parallel with crossbeam scoped threads.
 /// Results come back in seed order.
-pub fn parallel_map_seeds<R: Send>(
-    seeds: &[u64],
-    f: impl Fn(u64) -> R + Sync,
-) -> Vec<R> {
+pub fn parallel_map_seeds<R: Send>(seeds: &[u64], f: impl Fn(u64) -> R + Sync) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -126,7 +123,9 @@ pub fn parallel_map_seeds<R: Send>(
         }
     })
     .expect("worker panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Random 2-D Euclidean network, source 0.

@@ -228,7 +228,7 @@ mod tests {
     fn alpha_one_shapley_is_1bb_against_true_optimum() {
         for seed in 0..6 {
             let m = AlphaOneShapleyMechanism::new(alpha_one(seed, 7));
-            let out = m.run(&vec![1e5; 6]);
+            let out = m.run(&[1e5; 6]);
             let stations: Vec<usize> = (1..7).collect();
             let opt = m.solver().optimal_cost(&stations);
             assert!(approx_eq(out.revenue(), opt), "seed {seed}");
@@ -271,7 +271,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         let m = LineShapleyMechanism::new(solver);
-        let out = m.run(&vec![1e5; 5]);
+        let out = m.run(&[1e5; 5]);
         assert!(approx_eq(out.revenue(), chain_all));
         assert!(approx_eq(out.served_cost, chain_all));
     }

@@ -45,11 +45,7 @@ impl EuclideanSteinerMechanism {
     /// The claimed budget-balance factor `2(3^d − 1)` for this network's
     /// dimension (12 for d = 2 via Ambühl \[1\]).
     pub fn bb_factor(&self) -> f64 {
-        let d = self
-            .net
-            .points()
-            .map(|pts| pts[0].dim())
-            .unwrap_or(2);
+        let d = self.net.points().map(|pts| pts[0].dim()).unwrap_or(2);
         if d == 2 {
             12.0
         } else {
@@ -92,8 +88,7 @@ impl EuclideanSteinerMechanism {
                 shares[p] = jv.share[net.station_of_player(p)];
             }
             // Steiner heuristic: orient the tree downward from the source.
-            let rooted =
-                RootedTree::from_undirected_edges(net.n_stations(), s, &jv.tree.edges);
+            let rooted = RootedTree::from_undirected_edges(net.n_stations(), s, &jv.tree.edges);
             let assignment = PowerAssignment::from_tree(net, &rooted);
             debug_assert!(assignment.multicasts_to(net, &stations));
             let served_cost = assignment.total_cost();
@@ -149,7 +144,7 @@ mod tests {
     fn theorem_3_6_bb_bound_on_random_instances() {
         for seed in 0..10 {
             let m = mechanism(seed, 7);
-            let out = m.run_full(&vec![1e6; 6]);
+            let out = m.run_full(&[1e6; 6]);
             let stations: Vec<usize> = (1..7).collect();
             assert!(out.assignment.multicasts_to(m.network(), &stations));
             // Cost recovery...
@@ -202,7 +197,7 @@ mod tests {
     #[test]
     fn unaffordable_players_get_dropped_and_rest_served() {
         let m = mechanism(11, 6);
-        let rich = m.run(&vec![1e6; 5]);
+        let rich = m.run(&[1e6; 5]);
         assert_eq!(rich.receivers.len(), 5);
         let mut u = vec![1e6; 5];
         // Make player 3 unable to pay even a sliver of its rich-case share.

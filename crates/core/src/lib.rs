@@ -105,8 +105,8 @@ mod fig1_tests {
             find_unilateral_deviation(&m, &u, 1e-7).is_none(),
             "must be unilaterally strategyproof"
         );
-        let dev = find_group_deviation(&m, &u, 4, 1e-7)
-            .expect("the Fig. 1 collusion must be discovered");
+        let dev =
+            find_group_deviation(&m, &u, 4, 1e-7).expect("the Fig. 1 collusion must be discovered");
         // The deviation includes player 3 (x7) lying downward.
         assert!(dev.coalition.contains(&3));
     }

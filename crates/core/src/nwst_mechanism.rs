@@ -45,13 +45,7 @@ impl NwstCostSharingMechanism {
 
     /// Raw driver output (tree nodes/edges included) for a profile.
     pub fn run_raw(&self, reported: &[f64]) -> NwstOutcome {
-        nwst_mechanism(
-            &self.graph,
-            &self.terminals,
-            reported,
-            None,
-            &self.config,
-        )
+        nwst_mechanism(&self.graph, &self.terminals, reported, None, &self.config)
     }
 }
 
@@ -74,8 +68,8 @@ impl Mechanism for NwstCostSharingMechanism {
 mod tests {
     use super::*;
     use wmcs_game::{
-        find_unilateral_deviation, verify_consumer_sovereignty,
-        verify_no_positive_transfers, verify_voluntary_participation,
+        find_unilateral_deviation, verify_consumer_sovereignty, verify_no_positive_transfers,
+        verify_voluntary_participation,
     };
     use wmcs_nwst::nwst_exact_cost;
 

@@ -77,8 +77,7 @@ mod tests {
     use super::*;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_game::{
-        find_unilateral_deviation, verify_no_positive_transfers,
-        verify_voluntary_participation,
+        find_unilateral_deviation, verify_no_positive_transfers, verify_voluntary_participation,
     };
     use wmcs_geom::{Point, PowerModel};
     use wmcs_wireless::WirelessNetwork;
@@ -106,10 +105,7 @@ mod tests {
                 .filter(|&p| mask & (1 << p) != 0)
                 .map(|p| net.station_of_player(p))
                 .collect();
-            let util: f64 = (0..6)
-                .filter(|&p| mask & (1 << p) != 0)
-                .map(|p| u[p])
-                .sum();
+            let util: f64 = (0..6).filter(|&p| mask & (1 << p) != 0).map(|p| u[p]).sum();
             let w = util - m.universal_tree().multicast_cost(&stations);
             assert!(nw >= w - 1e-9, "mask {mask:b} beats the DP");
         }

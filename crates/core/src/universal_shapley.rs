@@ -90,8 +90,7 @@ mod tests {
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_game::{
         find_group_deviation, find_unilateral_deviation, verify_budget_balance,
-        verify_consumer_sovereignty, verify_no_positive_transfers,
-        verify_voluntary_participation,
+        verify_consumer_sovereignty, verify_no_positive_transfers, verify_voluntary_participation,
     };
     use wmcs_geom::{approx_eq, Point, PowerModel};
     use wmcs_wireless::WirelessNetwork;
@@ -132,7 +131,7 @@ mod tests {
             assert!(verify_voluntary_participation(&out, &u));
             assert!(approx_eq(out.revenue(), out.served_cost));
         }
-        assert!(verify_consumer_sovereignty(&m, &vec![1.0; 5], 1e9));
+        assert!(verify_consumer_sovereignty(&m, &[1.0; 5], 1e9));
     }
 
     #[test]
@@ -157,7 +156,7 @@ mod tests {
         // Cross-monotonicity in action: when somebody drops out, the
         // remaining receivers' shares can only rise.
         let m = mechanism(5, 7);
-        let rich = m.run(&vec![1e6; 6]);
+        let rich = m.run(&[1e6; 6]);
         let mut poor_profile = vec![1e6; 6];
         poor_profile[2] = 0.0;
         let poorer = m.run(&poor_profile);

@@ -68,9 +68,7 @@ impl WirelessMulticastMechanism {
         let net = &self.net;
         let n = net.n_players();
         assert_eq!(reported.len(), n);
-        let mut active: Vec<usize> = (0..n)
-            .filter(|&p| reported[p] > 0.0)
-            .collect();
+        let mut active: Vec<usize> = (0..n).filter(|&p| reported[p] > 0.0).collect();
         loop {
             if active.is_empty() {
                 return WirelessOutcome {
@@ -80,10 +78,7 @@ impl WirelessMulticastMechanism {
             }
             // (1)+(2): reduction + NWST mechanism. Terminal 0 is the free
             // source input node.
-            let stations: Vec<usize> = active
-                .iter()
-                .map(|&p| net.station_of_player(p))
-                .collect();
+            let stations: Vec<usize> = active.iter().map(|&p| net.station_of_player(p)).collect();
             let terminals = self.reduction.terminals_for(net, &stations);
             let mut budgets = vec![f64::INFINITY];
             budgets.extend(active.iter().map(|&p| reported[p]));
@@ -247,8 +242,7 @@ mod tests {
     use super::*;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_game::{
-        find_unilateral_deviation, verify_no_positive_transfers,
-        verify_voluntary_participation,
+        find_unilateral_deviation, verify_no_positive_transfers, verify_voluntary_participation,
     };
     use wmcs_geom::{Point, PowerModel};
     use wmcs_wireless::memt_exact;
@@ -265,7 +259,7 @@ mod tests {
     #[test]
     fn rich_profile_serves_everyone_feasibly() {
         let m = mechanism(1, 6);
-        let out = m.run_full(&vec![1e6; 5]);
+        let out = m.run_full(&[1e6; 5]);
         assert_eq!(out.outcome.receivers, vec![0, 1, 2, 3, 4]);
         let stations: Vec<usize> = (1..6).collect();
         assert!(out.assignment.multicasts_to(m.network(), &stations));
@@ -280,7 +274,7 @@ mod tests {
         // tabulates realised ratios, far below).
         for seed in 0..8 {
             let m = mechanism(seed, 6);
-            let out = m.run_full(&vec![1e6; 5]);
+            let out = m.run_full(&[1e6; 5]);
             let stations: Vec<usize> = (1..6).collect();
             let (opt, _) = memt_exact(m.network(), &stations);
             let k = 5.0f64;
@@ -310,7 +304,7 @@ mod tests {
     #[test]
     fn all_zero_profile_serves_nobody() {
         let m = mechanism(4, 5);
-        let out = m.run(&vec![0.0; 4]);
+        let out = m.run(&[0.0; 4]);
         assert!(out.receivers.is_empty());
         assert_eq!(out.revenue(), 0.0);
     }

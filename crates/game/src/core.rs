@@ -56,10 +56,7 @@ mod tests {
         let sum: f64 = x.iter().sum();
         assert!((sum - g.grand_cost()).abs() < 1e-6);
         for mask in 1u64..8 {
-            let s: f64 = (0..3)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| x[i])
-                .sum();
+            let s: f64 = (0..3).filter(|i| mask & (1 << i) != 0).map(|i| x[i]).sum();
             assert!(s <= g.cost_mask(mask) + 1e-6);
         }
     }

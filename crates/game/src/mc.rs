@@ -99,8 +99,8 @@ mod tests {
     use super::*;
     use crate::cost::ExplicitGame;
     use crate::mechanism::{
-        find_unilateral_deviation, verify_no_positive_transfers,
-        verify_voluntary_participation, Mechanism, MechanismOutcome,
+        find_unilateral_deviation, verify_no_positive_transfers, verify_voluntary_participation,
+        Mechanism, MechanismOutcome,
     };
     use proptest::prelude::*;
 

@@ -132,11 +132,7 @@ fn candidate_misreports(u: f64, charge: f64) -> Vec<f64> {
         1e6,
     ];
     if charge > 0.0 {
-        c.extend_from_slice(&[
-            (charge - 0.05).max(0.0),
-            charge,
-            charge + 0.05,
-        ]);
+        c.extend_from_slice(&[(charge - 0.05).max(0.0), charge, charge + 0.05]);
     }
     c
 }
@@ -229,14 +225,8 @@ pub fn find_group_deviation(
                     .iter()
                     .map(|&p| out.welfare(p, true_utilities))
                     .collect();
-                let nobody_worse = w_dev
-                    .iter()
-                    .zip(&w_true)
-                    .all(|(d, t)| *d >= *t - tol);
-                let someone_better = w_dev
-                    .iter()
-                    .zip(&w_true)
-                    .any(|(d, t)| *d > *t + tol);
+                let nobody_worse = w_dev.iter().zip(&w_true).all(|(d, t)| *d >= *t - tol);
+                let someone_better = w_dev.iter().zip(&w_true).any(|(d, t)| *d > *t + tol);
                 if nobody_worse && someone_better {
                     return Some(GroupDeviation {
                         coalition,

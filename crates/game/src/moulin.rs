@@ -56,8 +56,8 @@ mod tests {
     use crate::cost::ExplicitGame;
     use crate::mechanism::{
         find_group_deviation, find_unilateral_deviation, verify_budget_balance,
-        verify_consumer_sovereignty, verify_no_positive_transfers,
-        verify_voluntary_participation, Mechanism,
+        verify_consumer_sovereignty, verify_no_positive_transfers, verify_voluntary_participation,
+        Mechanism,
     };
     use crate::method::ShapleyMethod;
     use proptest::prelude::*;

@@ -12,6 +12,10 @@
 //! and `κ` the transmission-quality threshold (normalised to 1 throughout
 //! the paper, kept explicit here).
 
+// Index loops over multiple parallel arrays are idiomatic in this
+// numeric code; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
 pub mod float;
 pub mod gen;
 pub mod point;

@@ -130,7 +130,11 @@ mod tests {
     #[test]
     fn cost_matrix_is_symmetric_with_zero_diagonal() {
         let m = PowerModel::free_space();
-        let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0), Point::xy(0.0, 2.0)];
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(0.0, 2.0),
+        ];
         let c = m.cost_matrix(&pts);
         for i in 0..3 {
             assert_eq!(c[i][i], 0.0);

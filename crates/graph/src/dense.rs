@@ -100,12 +100,10 @@ impl CostMatrix {
 
     /// Finite-cost neighbours of `v`.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        (0..self.n)
-            .filter(move |&u| u != v)
-            .filter_map(move |u| {
-                let w = self.cost(v, u);
-                w.is_finite().then_some((u, w))
-            })
+        (0..self.n).filter(move |&u| u != v).filter_map(move |u| {
+            let w = self.cost(v, u);
+            w.is_finite().then_some((u, w))
+        })
     }
 
     /// The distinct finite transmission costs incident to `v`, sorted

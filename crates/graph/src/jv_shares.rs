@@ -135,7 +135,15 @@ pub fn jv_steiner_shares(
         if dt > 0.0 {
             // Accrue shares over [t_prev, t_ev): every component without the
             // root splits its unit growth among its terminals.
-            accrue(&mut uf, &members, &is_terminal, root, dt, &mut share, &weight_of);
+            accrue(
+                &mut uf,
+                &members,
+                &is_terminal,
+                root,
+                dt,
+                &mut share,
+                &weight_of,
+            );
             t_prev = t_ev;
         }
         if uf.find(u) != uf.find(v) {

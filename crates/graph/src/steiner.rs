@@ -22,11 +22,7 @@ pub struct SteinerTree {
 impl SteinerTree {
     /// Vertices touched by the tree.
     pub fn nodes(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .edges
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut v: Vec<usize> = self.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -58,11 +54,8 @@ pub fn kmb_steiner(costs: &CostMatrix, terminals: &[usize]) -> SteinerTree {
         }
     }
     // Work in terminal-index space for kruskal.
-    let tidx: std::collections::HashMap<usize, usize> = terminals
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| (t, i))
-        .collect();
+    let tidx: std::collections::HashMap<usize, usize> =
+        terminals.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let reindexed: Vec<(usize, usize, f64)> = closure_edges
         .iter()
         .map(|&(u, v, w)| (tidx[&u], tidx[&v], w))

@@ -166,13 +166,7 @@ impl RootedTree {
             }
         }
         let parent = (0..self.n)
-            .map(|v| {
-                if keep[v] {
-                    self.parent[v]
-                } else {
-                    None
-                }
-            })
+            .map(|v| if keep[v] { self.parent[v] } else { None })
             .collect();
         RootedTree::from_parents(self.root, parent)
     }

@@ -47,7 +47,10 @@ impl LinearProgram {
     /// New program over `n ≥ 1` non-negative structural variables.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        Self { n, rows: Vec::new() }
+        Self {
+            n,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of structural variables.
@@ -221,8 +224,7 @@ impl Tableau {
                         None => leave = Some((i, ratio)),
                         Some((li, lr)) => {
                             if ratio < lr - EPS
-                                || ((ratio - lr).abs() <= EPS
-                                    && self.basis[i] < self.basis[li])
+                                || ((ratio - lr).abs() <= EPS && self.basis[i] < self.basis[li])
                             {
                                 leave = Some((i, ratio));
                             }
@@ -281,8 +283,8 @@ impl Tableau {
             // harmless to keep.
             for i in 0..self.m {
                 if self.basis[i] >= self.n_struct + self.n_slack {
-                    if let Some(j) = (0..self.n_struct + self.n_slack)
-                        .find(|&j| self.rows[i][j].abs() > EPS)
+                    if let Some(j) =
+                        (0..self.n_struct + self.n_slack).find(|&j| self.rows[i][j].abs() > EPS)
                     {
                         self.pivot(i, j);
                     }

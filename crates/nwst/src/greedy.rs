@@ -235,13 +235,11 @@ pub fn nwst_mechanism(
                     .iter()
                     .filter(|&&gi| groups[gi].counted())
                     .map(|&gi| {
-                        let charged: f64 =
-                            groups[gi].members.iter().map(|&m| shares[m]).sum();
+                        let charged: f64 = groups[gi].members.iter().map(|&m| shares[m]).sum();
                         groups[gi].budget - charged
                     })
                     .fold(f64::INFINITY, f64::min);
-                let new_budget =
-                    component.counted_covered as f64 * min_residual.max(0.0);
+                let new_budget = component.counted_covered as f64 * min_residual.max(0.0);
                 let mut merged = GroupState {
                     members: vec![],
                     nodes: component.nodes.clone(),
@@ -290,8 +288,7 @@ pub fn nwst_mechanism(
                             if x.is_empty() {
                                 // Defensive fallback: drop the weakest member.
                                 if let Some(&weakest) = gs.members.iter().min_by(|&&a, &&b| {
-                                    (budgets[a] - shares[a])
-                                        .total_cmp(&(budgets[b] - shares[b]))
+                                    (budgets[a] - shares[a]).total_cmp(&(budgets[b] - shares[b]))
                                 }) {
                                     x.push(weakest);
                                 }
@@ -308,9 +305,7 @@ pub fn nwst_mechanism(
                                 let gap = budgets[m] - shares[m] - slice;
                                 let better = match weakest {
                                     None => true,
-                                    Some((wm, wg)) => {
-                                        gap < wg - EPS || (gap <= wg + EPS && m < wm)
-                                    }
+                                    Some((wm, wg)) => gap < wg - EPS || (gap <= wg + EPS && m < wm),
                                 };
                                 if better {
                                     weakest = Some((m, gap));
@@ -443,13 +438,7 @@ mod tests {
     fn free_terminal_pays_nothing_and_is_always_served() {
         let (g, ts) = star();
         // Terminal index 0 (node 1) is the free source.
-        let out = nwst_mechanism(
-            &g,
-            &ts,
-            &[0.0, 5.0, 5.0],
-            Some(0),
-            &NwstConfig::default(),
-        );
+        let out = nwst_mechanism(&g, &ts, &[0.0, 5.0, 5.0], Some(0), &NwstConfig::default());
         assert!(out.receivers.contains(&0));
         assert_eq!(out.shares[0], 0.0);
         // The other two split the hub cost: ratio 2/2 = 1 each.

@@ -61,13 +61,7 @@ mod integration_tests {
     #[test]
     fn mechanism_with_tight_budgets_still_recovers_cost() {
         let (g, ts) = two_hubs();
-        let out = nwst_mechanism(
-            &g,
-            &ts,
-            &[1.0, 1.0, 2.0, 0.2],
-            None,
-            &NwstConfig::default(),
-        );
+        let out = nwst_mechanism(&g, &ts, &[1.0, 1.0, 2.0, 0.2], None, &NwstConfig::default());
         let revenue: f64 = out.shares.iter().sum();
         assert!(revenue + 1e-9 >= out.cost);
         for &r in &out.receivers {

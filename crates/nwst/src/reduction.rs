@@ -130,7 +130,11 @@ impl ReducedInstance {
             if bfs_no[a] == usize::MAX || bfs_no[b] == usize::MAX {
                 continue; // edge outside the root component
             }
-            let (hi, lo) = if bfs_no[a] < bfs_no[b] { (a, b) } else { (b, a) };
+            let (hi, lo) = if bfs_no[a] < bfs_no[b] {
+                (a, b)
+            } else {
+                (b, a)
+            };
             let si = self.station_of(hi);
             let sj = self.station_of(lo);
             if si != sj {
@@ -203,9 +207,10 @@ mod tests {
         let net = random_net(1, 5);
         let red = ReducedInstance::build(&net);
         // n input nodes + Σ n_i output nodes.
-        let expect: usize = 5 + (0..5)
-            .map(|i| net.costs().power_levels(i).len())
-            .sum::<usize>();
+        let expect: usize = 5
+            + (0..5)
+                .map(|i| net.costs().power_levels(i).len())
+                .sum::<usize>();
         assert_eq!(red.graph.len(), expect);
         for i in 0..5 {
             assert_eq!(red.kinds[red.input_of[i]], NodeKind::Input { station: i });
@@ -298,7 +303,7 @@ mod tests {
         for &(a, b) in &sol.station_edges {
             adj[a].push(b);
         }
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         seen[0] = true;
         let mut stack = vec![0usize];
         while let Some(v) = stack.pop() {

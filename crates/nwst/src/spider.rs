@@ -130,16 +130,9 @@ pub fn find_min_ratio_spider(
                         }
                     }
                     if let Some((w, m)) = best_meet {
-                        let mut nodes =
-                            NodeWeightedGraph::path_from_parents(parent_v, m);
-                        nodes.extend(NodeWeightedGraph::path_from_parents(
-                            &per_group[gi].1,
-                            m,
-                        ));
-                        nodes.extend(NodeWeightedGraph::path_from_parents(
-                            &per_group[gj].1,
-                            m,
-                        ));
+                        let mut nodes = NodeWeightedGraph::path_from_parents(parent_v, m);
+                        nodes.extend(NodeWeightedGraph::path_from_parents(&per_group[gi].1, m));
+                        nodes.extend(NodeWeightedGraph::path_from_parents(&per_group[gj].1, m));
                         legs.push(Leg {
                             cost: w,
                             groups: vec![gi, gj],

@@ -239,8 +239,7 @@ mod tests {
             let (set, nw) = solver.largest_efficient_set(&u_st);
             assert!((nw - best).abs() < 1e-7, "seed {seed}: {nw} vs {best}");
             // The set achieves the welfare it claims.
-            let got: f64 = set.iter().map(|&x| u_st[x]).sum::<f64>()
-                - solver.optimal_cost(&set);
+            let got: f64 = set.iter().map(|&x| u_st[x]).sum::<f64>() - solver.optimal_cost(&set);
             assert!(approx_eq(got, nw));
         }
     }
@@ -249,11 +248,7 @@ mod tests {
     #[should_panic(expected = "α = 1")]
     fn wrong_alpha_rejected() {
         let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0)];
-        let _ = AlphaOneSolver::new(WirelessNetwork::euclidean(
-            pts,
-            PowerModel::free_space(),
-            0,
-        ));
+        let _ = AlphaOneSolver::new(WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0));
     }
 
     proptest! {

@@ -59,7 +59,12 @@ impl LineSolver {
             rank[x] = r;
         }
         let k = rank[net.source()];
-        Self { net, by_pos, rank, k }
+        Self {
+            net,
+            by_pos,
+            rank,
+            k,
+        }
     }
 
     /// The underlying network.
@@ -83,8 +88,18 @@ impl LineSolver {
             return (0.0, pa_best);
         }
         let s = self.net.source();
-        let f_r = receivers.iter().map(|&x| self.rank[x]).min().unwrap().min(self.k);
-        let l_r = receivers.iter().map(|&x| self.rank[x]).max().unwrap().max(self.k);
+        let f_r = receivers
+            .iter()
+            .map(|&x| self.rank[x])
+            .min()
+            .unwrap()
+            .min(self.k);
+        let l_r = receivers
+            .iter()
+            .map(|&x| self.rank[x])
+            .max()
+            .unwrap()
+            .max(self.k);
         let mut best = f64::INFINITY;
         // Candidate source powers: the cost to each other station.
         for cand in 0..n {
@@ -161,9 +176,7 @@ impl LineSolver {
                     .collect();
                 let util: f64 = set.iter().map(|&x| u[x].max(0.0)).sum();
                 let w = util - self.chain_cost(&set);
-                if w > best_w + EPS
-                    || (w >= best_w - EPS && set.len() > best_set.len())
-                {
+                if w > best_w + EPS || (w >= best_w - EPS && set.len() > best_set.len()) {
                     best_w = best_w.max(w);
                     best_set = set;
                 }
@@ -302,7 +315,10 @@ mod tests {
                 .collect();
             let (line_cost, _) = solver.solve(&receivers);
             let (exact, _) = memt_exact(solver.network(), &receivers);
-            assert!(approx_eq(line_cost, exact), "seed {seed}: {line_cost} vs {exact}");
+            assert!(
+                approx_eq(line_cost, exact),
+                "seed {seed}: {line_cost} vs {exact}"
+            );
         }
     }
 
@@ -405,8 +421,7 @@ mod tests {
             }
             let (set, nw) = solver.largest_efficient_set(&u_st);
             assert!((nw - best).abs() < 1e-7, "seed {seed}: {nw} vs {best}");
-            let achieved: f64 =
-                set.iter().map(|&x| u_st[x]).sum::<f64>() - solver.chain_cost(&set);
+            let achieved: f64 = set.iter().map(|&x| u_st[x]).sum::<f64>() - solver.chain_cost(&set);
             assert!(approx_eq(achieved, nw));
         }
     }
@@ -415,11 +430,7 @@ mod tests {
     #[should_panic(expected = "d = 1")]
     fn two_dimensional_network_rejected() {
         let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)];
-        let _ = LineSolver::new(WirelessNetwork::euclidean(
-            pts,
-            PowerModel::free_space(),
-            0,
-        ));
+        let _ = LineSolver::new(WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0));
     }
 
     proptest! {

@@ -53,7 +53,10 @@ impl Levels {
 /// to all `targets`. Returns the optimal cost and an optimal assignment.
 pub fn memt_exact(net: &WirelessNetwork, targets: &[usize]) -> (f64, PowerAssignment) {
     let n = net.n_stations();
-    assert!(n <= MAX_EXACT_STATIONS, "exact MEMT is exponential: n = {n}");
+    assert!(
+        n <= MAX_EXACT_STATIONS,
+        "exact MEMT is exponential: n = {n}"
+    );
     let s = net.source();
     let target_mask: u64 = targets.iter().fold(1 << s, |m, &t| m | (1 << t));
     if target_mask == 1 << s {
@@ -118,7 +121,10 @@ impl MemtCostTable {
     /// Build the full table.
     pub fn build(net: &WirelessNetwork) -> Self {
         let n = net.n_stations();
-        assert!(n <= MAX_EXACT_STATIONS, "exact MEMT is exponential: n = {n}");
+        assert!(
+            n <= MAX_EXACT_STATIONS,
+            "exact MEMT is exponential: n = {n}"
+        );
         let s = net.source();
         let levels = Levels::of(net);
         let n_states = 1usize << n;
@@ -256,7 +262,11 @@ mod tests {
     fn wireless_advantage_beats_tree_costs() {
         // Source in the middle of two receivers at equal distance: one
         // transmission serves both.
-        let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0), Point::xy(-1.0, 0.0)];
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(-1.0, 0.0),
+        ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         let (cost, pa) = memt_exact(&net, &[1, 2]);
         assert!(approx_eq(cost, 1.0));

@@ -123,7 +123,9 @@ impl WirelessNetwork {
 
     /// All stations except the source, ascending.
     pub fn non_source_stations(&self) -> Vec<usize> {
-        (0..self.n_stations()).filter(|&x| x != self.source).collect()
+        (0..self.n_stations())
+            .filter(|&x| x != self.source)
+            .collect()
     }
 }
 

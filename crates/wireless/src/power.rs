@@ -115,11 +115,7 @@ impl PowerAssignment {
 
     /// Extract an explicit multicast tree rooted at the source spanning
     /// `targets` from the transmission digraph, or `None` if infeasible.
-    pub fn multicast_tree(
-        &self,
-        net: &WirelessNetwork,
-        targets: &[usize],
-    ) -> Option<RootedTree> {
+    pub fn multicast_tree(&self, net: &WirelessNetwork, targets: &[usize]) -> Option<RootedTree> {
         let n = self.len();
         let s = net.source();
         let mut parent = vec![None; n];

@@ -35,7 +35,11 @@ pub struct UniversalTree {
 impl UniversalTree {
     /// Wrap an explicit spanning tree rooted at the source.
     pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
-        assert_eq!(tree.root(), net.source(), "tree must be rooted at the source");
+        assert_eq!(
+            tree.root(),
+            net.source(),
+            "tree must be rooted at the source"
+        );
         assert_eq!(
             tree.node_count(),
             net.n_stations(),
@@ -43,11 +47,7 @@ impl UniversalTree {
         );
         let mut children_sorted = tree.children();
         for (x, ch) in children_sorted.iter_mut().enumerate() {
-            ch.sort_by(|&a, &b| {
-                net.cost(x, a)
-                    .total_cmp(&net.cost(x, b))
-                    .then(a.cmp(&b))
-            });
+            ch.sort_by(|&a, &b| net.cost(x, a).total_cmp(&net.cost(x, b)).then(a.cmp(&b)));
         }
         Self {
             net,
@@ -186,11 +186,10 @@ impl UniversalTree {
                 acc += h[y];
                 let val = acc - self.net.cost(v, y);
                 // Prefer larger prefixes on ties → largest efficient set.
-                if val >= best - EPS
-                    && (val > best + EPS || j + 1 > best_j) {
-                        best = val.max(best);
-                        best_j = j + 1;
-                    }
+                if val >= best - EPS && (val > best + EPS || j + 1 > best_j) {
+                    best = val.max(best);
+                    best_j = j + 1;
+                }
             }
             h[v] = own + best;
             choice[v] = best_j;
@@ -395,7 +394,9 @@ mod tests {
             for mask in 0u64..(1 << n_players) {
                 let util: f64 = members_of(mask).iter().map(|&p| u_players[p]).sum();
                 let w = util - game.cost_mask(mask);
-                if w > best + 1e-12 || (approx_eq(w, best) && mask.count_ones() > best_mask.count_ones()) {
+                if w > best + 1e-12
+                    || (approx_eq(w, best) && mask.count_ones() > best_mask.count_ones())
+                {
                     best = w;
                     best_mask = mask;
                 }

@@ -7,6 +7,10 @@
 //! cargo run --example collusion_fig1
 //! ```
 
+// Index loops over the parallel player/name arrays mirror the paper's
+// x1/x5/x6/x7 notation; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use multicast_cost_sharing::prelude::*;
 
 fn main() {

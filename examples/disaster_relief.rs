@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(20040627); // SPAA 2004 proceedings day
+
     // Three incident sites (clusters) around the command post.
     let cfg = InstanceConfig {
         n: 16,
@@ -53,9 +54,7 @@ fn main() {
             utilities[p] - truthful.shares[p]
         );
     }
-    let excluded: Vec<usize> = (0..n)
-        .filter(|p| !truthful.receivers.contains(p))
-        .collect();
+    let excluded: Vec<usize> = (0..n).filter(|p| !truthful.receivers.contains(p)).collect();
     println!("excluded (couldn't cover their share): {excluded:?}");
 
     // Strategyproofness in action: the highest-utility team tries to lowball.

@@ -7,8 +7,8 @@
 //! cargo run --example empty_core_pentagon
 //! ```
 
-use multicast_cost_sharing::prelude::*;
 use multicast_cost_sharing::game::{core_allocation, submodularity_violation};
+use multicast_cost_sharing::prelude::*;
 
 fn main() {
     let m = 10.0;
@@ -17,9 +17,18 @@ fn main() {
 
     // The C* table over the externals.
     println!("optimal multicast costs (abstract chain graph, exact Steiner):");
-    println!("  C*(single external)      = {:.4}", inst.optimal_cost(&[0]));
-    println!("  C*(adjacent pair)        = {:.4}", inst.optimal_cost(&[0, 1]));
-    println!("  C*(non-adjacent pair)    = {:.4}", inst.optimal_cost(&[0, 2]));
+    println!(
+        "  C*(single external)      = {:.4}",
+        inst.optimal_cost(&[0])
+    );
+    println!(
+        "  C*(adjacent pair)        = {:.4}",
+        inst.optimal_cost(&[0, 1])
+    );
+    println!(
+        "  C*(non-adjacent pair)    = {:.4}",
+        inst.optimal_cost(&[0, 2])
+    );
     let full = inst.optimal_cost(&[0, 1, 2, 3, 4]);
     println!("  C*(all five externals)   = {full:.4}");
 

@@ -23,7 +23,10 @@ fn main() {
     let utilities = vec![3.0, 8.0, 2.0, 10.0, 9.0, 1.0, 14.0];
 
     println!("== highway alert multicast (d = 1, α = 2) ==");
-    println!("stations at km {positions:?}, source at km {}", positions[source]);
+    println!(
+        "stations at km {positions:?}, source at km {}",
+        positions[source]
+    );
 
     // Exact chain-form costs for a few receiver sets.
     for set in [vec![0usize], vec![7], vec![0, 7]] {

@@ -26,8 +26,7 @@ fn main() {
 
     // --- Mechanism 1: universal-tree Shapley (§2.1) — budget balanced,
     //     group strategyproof.
-    let shapley =
-        UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
     let out = shapley.run(&utilities);
     println!("Universal-tree Shapley (BB, group-SP):");
     report(&out, &utilities);

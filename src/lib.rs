@@ -47,21 +47,18 @@ pub use wmcs_wireless as wireless;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use wmcs_game::{
-        find_group_deviation, find_unilateral_deviation, marginal_cost_mechanism,
-        moulin_shenker, shapley_value, CostFunction, ExplicitGame, Mechanism,
-        MechanismOutcome, ShapleyMethod,
+        find_group_deviation, find_unilateral_deviation, marginal_cost_mechanism, moulin_shenker,
+        shapley_value, CostFunction, ExplicitGame, Mechanism, MechanismOutcome, ShapleyMethod,
     };
     pub use wmcs_geom::{InstanceConfig, InstanceKind, Point, PowerModel};
     pub use wmcs_graph::{CostMatrix, RootedTree};
     pub use wmcs_mechanisms::{
-        fig1_instance, AlphaOneMcMechanism, AlphaOneShapleyMechanism,
-        EuclideanSteinerMechanism, LineMcMechanism, LineShapleyMechanism,
-        NwstCostSharingMechanism, PentagonInstance, UniversalMcMechanism,
-        UniversalShapleyMechanism, WirelessMulticastMechanism,
+        fig1_instance, AlphaOneMcMechanism, AlphaOneShapleyMechanism, EuclideanSteinerMechanism,
+        LineMcMechanism, LineShapleyMechanism, NwstCostSharingMechanism, PentagonInstance,
+        UniversalMcMechanism, UniversalShapleyMechanism, WirelessMulticastMechanism,
     };
     pub use wmcs_nwst::{NodeWeightedGraph, NwstConfig};
     pub use wmcs_wireless::{
-        memt_exact, AlphaOneSolver, LineSolver, PowerAssignment, UniversalTree,
-        WirelessNetwork,
+        memt_exact, AlphaOneSolver, LineSolver, PowerAssignment, UniversalTree, WirelessNetwork,
     };
 }

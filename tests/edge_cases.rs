@@ -97,7 +97,10 @@ fn moderate_scale_polynomial_mechanisms_run_fast() {
 #[test]
 fn line_mechanisms_handle_source_at_the_edge() {
     // Source leftmost: everything is a right chain.
-    let pts: Vec<Point> = [0.0, 1.0, 2.5, 4.0].iter().map(|&x| Point::on_line(x)).collect();
+    let pts: Vec<Point> = [0.0, 1.0, 2.5, 4.0]
+        .iter()
+        .map(|&x| Point::on_line(x))
+        .collect();
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let solver = LineSolver::new(net.clone());
     let (cost, pa) = solver.solve(&[3]);
@@ -137,7 +140,11 @@ fn pentagon_instance_rejects_nonpositive_scale() {
 #[test]
 fn power_model_extreme_alpha_six() {
     // The paper says α ∈ [1, 6]; exercise the upper end.
-    let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.5, 0.0), Point::xy(3.0, 0.0)];
+    let pts = vec![
+        Point::xy(0.0, 0.0),
+        Point::xy(1.5, 0.0),
+        Point::xy(3.0, 0.0),
+    ];
     let net = WirelessNetwork::euclidean(pts, PowerModel::with_alpha(6.0), 0);
     let (opt, pa) = memt_exact(&net, &[2]);
     // Relaying is hugely favoured at α = 6: two hops of 1.5⁶ each.

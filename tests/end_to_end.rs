@@ -80,20 +80,12 @@ fn efficiency_ordering_mc_dominates_all() {
     // the universal-tree cost structure.
     let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
     let mc_out = mc.run(&u);
-    let mc_netwealth: f64 = mc_out
-        .receivers
-        .iter()
-        .map(|&p| u[p])
-        .sum::<f64>()
-        - mc_out.served_cost;
+    let mc_netwealth: f64 =
+        mc_out.receivers.iter().map(|&p| u[p]).sum::<f64>() - mc_out.served_cost;
     let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
     let sh_out = sh.run(&u);
-    let sh_netwealth: f64 = sh_out
-        .receivers
-        .iter()
-        .map(|&p| u[p])
-        .sum::<f64>()
-        - sh_out.served_cost;
+    let sh_netwealth: f64 =
+        sh_out.receivers.iter().map(|&p| u[p]).sum::<f64>() - sh_out.served_cost;
     assert!(mc_netwealth + 1e-9 >= sh_netwealth);
     // Receiver welfare under MC is at least the Shapley receivers' (VCG
     // payments never exceed marginal value).
@@ -111,7 +103,9 @@ fn the_two_counterexample_instances_ship_and_reproduce() {
     assert!(find_group_deviation(&m, &u, 4, 1e-7).is_some());
     // Fig. 2.
     let inst = PentagonInstance::new(25.0);
-    assert!(multicast_cost_sharing::game::core_is_empty(&inst.cost_game()));
+    assert!(multicast_cost_sharing::game::core_is_empty(
+        &inst.cost_game()
+    ));
 }
 
 #[test]

@@ -1,0 +1,229 @@
+//! Smoke tests pinning the core code path of each of the six `examples/`,
+//! so the examples cannot silently rot: every load-bearing assertion an
+//! example makes when run as a binary is re-asserted here under
+//! `cargo test` (the example sources themselves are compile-checked by
+//! `cargo build --examples` / CI).
+
+use multicast_cost_sharing::game::{core_allocation, submodularity_violation};
+use multicast_cost_sharing::prelude::*;
+
+/// `examples/quickstart.rs`: the four headline mechanisms all run on the
+/// 7-station network, the Shapley mechanism balances its budget, and the
+/// Steiner mechanism covers the cost it serves.
+#[test]
+fn quickstart_mechanisms_run_and_cover_cost() {
+    let pts = vec![
+        Point::xy(5.0, 5.0),
+        Point::xy(2.0, 4.0),
+        Point::xy(8.0, 6.5),
+        Point::xy(4.5, 8.0),
+        Point::xy(6.0, 1.5),
+        Point::xy(9.0, 2.0),
+        Point::xy(1.0, 8.5),
+    ];
+    let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+    let utilities = vec![24.0, 40.0, 12.0, 2.0, 30.0, 18.0];
+
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let out = shapley.run(&utilities);
+    assert!(
+        (out.revenue() - out.served_cost).abs() < 1e-9,
+        "Shapley is 1-BB"
+    );
+
+    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let out = mc.run(&utilities);
+    assert!(
+        out.revenue() <= out.served_cost + 1e-9,
+        "MC never runs a surplus"
+    );
+
+    let steiner = EuclideanSteinerMechanism::new(net.clone());
+    let out = steiner.run(&utilities);
+    assert!(
+        out.revenue() >= out.served_cost - 1e-9,
+        "Steiner covers served cost"
+    );
+
+    let wireless = WirelessMulticastMechanism::new(net.clone());
+    let out = wireless.run(&utilities);
+    assert!(
+        out.revenue() >= out.served_cost - 1e-9,
+        "wireless covers served cost"
+    );
+
+    let all: Vec<usize> = (1..7).collect();
+    let (exact, _) = memt_exact(&net, &all);
+    assert!(
+        out.served_cost >= exact - 1e-9,
+        "no mechanism beats the optimum"
+    );
+}
+
+/// `examples/collusion_fig1.rs`: the paper's Fig. 1 — x7 under-reporting
+/// makes x1, x5, x6 strictly better off while x7 loses nothing, yet no
+/// unilateral lie is profitable (Theorem 2.3).
+#[test]
+fn collusion_fig1_group_deviation_exists_but_no_unilateral_lie() {
+    let (graph, terminals, utilities) = fig1_instance();
+    let mech = NwstCostSharingMechanism::new(graph, terminals);
+
+    let truthful = mech.run(&utilities);
+    let mut lie = utilities.clone();
+    lie[3] = 1.5 - 0.3; // x7 under-reports
+    let colluded = mech.run(&lie);
+    for p in 0..3 {
+        assert!(
+            colluded.welfare(p, &utilities) > truthful.welfare(p, &utilities) + 1e-9,
+            "player {p} must strictly gain from the collusion"
+        );
+    }
+    assert!(
+        colluded.welfare(3, &utilities) >= truthful.welfare(3, &utilities) - 1e-9,
+        "x7 must not lose from the collusion"
+    );
+
+    assert!(
+        find_unilateral_deviation(&mech, &utilities, 1e-7).is_none(),
+        "no single player can profit by lying (Theorem 2.3)"
+    );
+    assert!(
+        find_group_deviation(&mech, &utilities, 2, 1e-7).is_some(),
+        "the coalition sweep must rediscover Fig. 1's collusion"
+    );
+}
+
+/// `examples/empty_core_pentagon.rs`: Lemma 3.3 — the pentagon's optimal
+/// cost game has an empty core and violates submodularity.
+#[test]
+fn pentagon_core_is_empty_and_submodularity_fails() {
+    let inst = PentagonInstance::new(10.0);
+    let full = inst.optimal_cost(&[0, 1, 2, 3, 4]);
+    assert!(
+        inst.optimal_cost(&[0]) > full / 5.0,
+        "Lemma 3.3: a single external costs more than its full-set share"
+    );
+    assert!(
+        inst.optimal_cost(&[0, 1]) < 2.0 * full / 5.0,
+        "Lemma 3.3: an adjacent pair costs less than two full-set shares"
+    );
+    let game = inst.cost_game();
+    assert!(
+        core_allocation(&game).is_none(),
+        "core(C*) must be empty (LP infeasible over all 2^5 coalitions)"
+    );
+    assert!(
+        submodularity_violation(&game).is_some(),
+        "C* must violate submodularity on the pentagon"
+    );
+}
+
+/// `examples/highway_line.rs`: d = 1 — the line Shapley mechanism is
+/// exactly budget balanced and the MC mechanism never runs a surplus.
+#[test]
+fn highway_line_shapley_balances_and_mc_runs_deficit() {
+    let positions = [0.0, 1.5, 3.0, 4.2, 6.0, 7.1, 9.0, 12.0];
+    let pts: Vec<Point> = positions.iter().map(|&x| Point::on_line(x)).collect();
+    let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 4);
+    let utilities = vec![3.0, 8.0, 2.0, 10.0, 9.0, 1.0, 14.0];
+
+    let shapley = LineShapleyMechanism::new(LineSolver::new(net.clone()));
+    let out = shapley.run(&utilities);
+    assert!(
+        (out.revenue() - out.served_cost).abs() < 1e-9,
+        "line Shapley is 1-BB w.r.t. the chain-form cost"
+    );
+
+    let mc = LineMcMechanism::new(LineSolver::new(net.clone()));
+    let eff = mc.run(&utilities);
+    assert!(
+        eff.revenue() <= eff.served_cost + 1e-9,
+        "MC never runs a surplus"
+    );
+}
+
+/// `examples/campus_broadcast.rs`: over the example's six demand sessions
+/// the universal Shapley mechanism stays exactly balanced and the MC
+/// mechanism only ever runs deficits.
+#[test]
+fn campus_broadcast_shapley_exact_mc_deficit() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let cfg = InstanceConfig {
+        n: 12,
+        dim: 2,
+        kind: InstanceKind::Grid { spacing: 3.0 },
+        seed: 7,
+    };
+    let pts = cfg.generate();
+    let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+    let n = net.n_players();
+
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
+    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(net.clone()));
+
+    let mut rng = SmallRng::seed_from_u64(42);
+    for _session in 0..6 {
+        let demand_scale = rng.gen_range(0.5..4.0);
+        let utilities: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(0.0..10.0) * demand_scale)
+            .collect();
+        let sh = shapley.run(&utilities);
+        assert!(
+            (sh.revenue() - sh.served_cost).abs() < 1e-6,
+            "Shapley must run exactly balanced"
+        );
+        let eff = mc.run(&utilities);
+        assert!(
+            eff.served_cost - eff.revenue() >= -1e-6,
+            "MC never runs a surplus"
+        );
+    }
+}
+
+/// `examples/disaster_relief.rs`: on the clustered instance the Steiner
+/// mechanism admits no profitable unilateral deviation, and lowballing
+/// never beats truth-telling.
+#[test]
+fn disaster_relief_truthfulness_holds() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = SmallRng::seed_from_u64(20040627);
+    let cfg = InstanceConfig {
+        n: 16,
+        dim: 2,
+        kind: InstanceKind::Clustered {
+            clusters: 3,
+            spread: 1.2,
+            side: 14.0,
+        },
+        seed: 99,
+    };
+    let mut pts = cfg.generate();
+    pts[0] = Point::xy(7.0, 7.0);
+    let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+    let n = net.n_players();
+    let utilities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..80.0)).collect();
+
+    let mech = EuclideanSteinerMechanism::new(net.clone());
+    let truthful = mech.run(&utilities);
+    assert!(truthful.revenue() >= truthful.served_cost - 1e-9);
+
+    // Lowballing (the example's team-1 scenario) never improves welfare.
+    if let Some(&p) = truthful.receivers.first() {
+        let mut lie = utilities.clone();
+        lie[p] = utilities[p] / 20.0;
+        let lied = mech.run(&lie);
+        assert!(
+            lied.welfare(p, &utilities) <= truthful.welfare(p, &utilities) + 1e-9,
+            "lowballing must never be profitable"
+        );
+    }
+
+    assert!(
+        find_unilateral_deviation(&mech, &utilities, 1e-6).is_none(),
+        "deviation sweep: no profitable unilateral lie exists"
+    );
+}

@@ -47,7 +47,7 @@ fn section_2_2_3_wireless_mechanism_recovers_cost_within_bound() {
     let stations: Vec<usize> = (1..6).collect();
     let (opt, _) = memt_exact(&net, &stations);
     let m = WirelessMulticastMechanism::new(net);
-    let out = m.run(&vec![1e9; 5]);
+    let out = m.run(&[1e9; 5]);
     assert!(out.revenue() + 1e-9 >= out.served_cost);
     assert!(out.revenue() <= (3.0 * 6.0f64.ln()).max(4.0) * opt + 1e-6);
 }
@@ -67,7 +67,7 @@ fn lemma_3_1_alpha_one_exact_and_submodular() {
 fn theorem_3_2_shapley_is_1bb_for_alpha_one() {
     let net = network(13, 7, 1.0);
     let m = AlphaOneShapleyMechanism::new(AlphaOneSolver::new(net.clone()));
-    let out = m.run(&vec![1e9; 6]);
+    let out = m.run(&[1e9; 6]);
     let stations: Vec<usize> = (1..7).collect();
     let (opt, _) = memt_exact(&net, &stations);
     assert!((out.revenue() - opt).abs() < 1e-6 * opt);
@@ -103,7 +103,7 @@ fn theorem_3_6_jv_mechanism_is_12bb_for_d2() {
         let stations: Vec<usize> = (1..6).collect();
         let (opt, _) = memt_exact(&net, &stations);
         let m = EuclideanSteinerMechanism::new(net);
-        let out = m.run(&vec![1e9; 5]);
+        let out = m.run(&[1e9; 5]);
         assert!(out.revenue() + 1e-9 >= out.served_cost);
         assert!(out.revenue() <= 12.0 * opt + 1e-6, "seed {seed}");
     }

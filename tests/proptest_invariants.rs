@@ -1,5 +1,9 @@
 //! Cross-crate property tests on the public API.
 
+// Index loops over multiple parallel arrays are idiomatic in this
+// numeric code; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use multicast_cost_sharing::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;

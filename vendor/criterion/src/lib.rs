@@ -1,0 +1,275 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace's two `harness =
+//! false` bench targets use — `Criterion`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros — with honest wall-clock measurement: each
+//! benchmark warms up, auto-scales its iteration count to the configured
+//! measurement time, and reports mean / min / max per-iteration times to
+//! stdout. No statistical analysis, HTML reports, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; holds the default per-group settings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Benchmark a routine that takes a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new();
+        // Warm-up: run the routine untimed until the warm-up budget is spent.
+        let warm_up = self.criterion.warm_up_time;
+        let start = Instant::now();
+        while start.elapsed() < warm_up {
+            bencher.record = false;
+            routine(&mut bencher, input);
+            if bencher.iters == 0 {
+                break; // routine never called iter(); nothing to warm up
+            }
+        }
+        // Measurement: repeat samples until the time budget or sample cap.
+        bencher.reset();
+        bencher.record = true;
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let budget = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let start = Instant::now();
+        for _ in 0..samples {
+            routine(&mut bencher, input);
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Benchmark a routine with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id.into(), &(), |b, _| routine(b))
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark routines.
+pub struct Bencher {
+    record: bool,
+    iters: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            record: true,
+            iters: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.iters = 0;
+        self.total = Duration::ZERO;
+        self.min = Duration::MAX;
+        self.max = Duration::ZERO;
+    }
+
+    /// Time one execution of `f` (the criterion contract is "measure what
+    /// happens inside iter"); the return value is passed through
+    /// [`black_box`] so the optimiser cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        if self.record {
+            self.iters += 1;
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.max = self.max.max(elapsed);
+        } else {
+            self.iters = self.iters.max(1);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("  {group}/{id}: no iterations recorded");
+            return;
+        }
+        let mean = self.total / self.iters as u32;
+        println!(
+            "  {group}/{id}: mean {:?} (min {:?}, max {:?}, {} samples)",
+            mean, self.min, self.max, self.iters
+        );
+    }
+}
+
+/// Define a benchmark group function, in either the simple or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

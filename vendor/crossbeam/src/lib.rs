@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace (the
+//! coarse-grained parallel seed sweep in `wmcs-bench`). Since Rust 1.63
+//! the standard library has scoped threads, so the shim wraps
+//! [`std::thread::scope`] and adapts it to crossbeam's API: the closure
+//! receives a `&Scope` whose `spawn` passes the scope again (allowing
+//! nested spawns), and the whole call returns `Err` instead of panicking
+//! when a spawned thread panics.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope (crossbeam's signature), so workers can spawn more
+        /// workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns. Returns
+    /// `Err` with the panic payload if any spawned thread (or `f`
+    /// itself) panicked, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_slots() {
+        let mut slots = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 * 10;
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(slots, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports exactly the surface this workspace uses:
+//!
+//! * `proptest! { ... }` blocks with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute
+//!   and one or more `#[test] fn name(arg in strategy, ...) { ... }` items;
+//! * range strategies (`0u64..1000`, `1.0..100.0f64`, inclusive ranges);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Semantics versus real proptest: sampling is uniform and deterministic
+//! (a fixed-seed xorshift generator, so failures reproduce across runs)
+//! and there is **no shrinking** — a failing case panics with the drawn
+//! arguments in the message instead. Case counts honour the
+//! `PROPTEST_CASES` environment variable, like the real crate.
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic case generator.
+
+    /// Configuration for a `proptest!` block. Only `cases` is meaningful
+    /// in this shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic word generator feeding the strategies
+    /// (SplitMix64; fixed seed so every run draws the same cases).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator used by the `proptest!` expansion.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5EED_CAFE_F00D_D00D,
+            }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value strategies. Real proptest strategies are lazy trees with
+    //! shrinking; here a strategy is just "something that can draw a
+    //! uniform value".
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of test-case values.
+    pub trait Strategy {
+        /// The type of drawn values.
+        type Value;
+        /// Draw one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Types drawable from range strategies. A single blanket impl per
+    /// range shape (instead of per-type impls) keeps unsuffixed literals
+    /// inferable from context, like real proptest's strategies.
+    pub trait SampleValue: Sized {
+        /// Uniform draw from `[lo, hi)` or `[lo, hi]`.
+        fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    impl<T: SampleValue> Strategy for Range<T>
+    where
+        T: Clone,
+    {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start.clone(), self.end.clone(), false)
+        }
+    }
+
+    impl<T: SampleValue + Clone> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start().clone(), self.end().clone(), true)
+        }
+    }
+
+    macro_rules! int_sample_value {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                    assert!(span > 0, "empty range strategy");
+                    let draw = (rng.next_u64() as u128) % (span as u128);
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_sample_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_sample_value {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    if inclusive {
+                        assert!(lo <= hi, "empty range strategy");
+                        // Uniform in [0, 1] (the divisor makes 1.0 reachable).
+                        let unit = rng.next_u64() as f64 / u64::MAX as f64;
+                        lo + (unit as $t) * (hi - lo)
+                    } else {
+                        assert!(lo < hi, "empty range strategy");
+                        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                        lo + (unit as $t) * (hi - lo)
+                    }
+                }
+            }
+        )*};
+    }
+
+    float_sample_value!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.pick(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec` only — all the workspace uses).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a half-open
+    /// `Range<usize>`, mirroring proptest's `Into<SizeRange>` inputs.
+    pub trait IntoSizeRange {
+        /// Half-open `[min, max)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// `Vec` strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        assert!(min_len < max_len, "empty vec length range");
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len) as u64;
+            let len = self.min_len + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property-test block: expands each `#[test] fn name(args...) {body}` into
+/// a plain `#[test]` that redraws `args` from their strategies `cases`
+/// times and runs the body for each draw.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut __rng);)+
+                let __case_desc = ::std::format!(
+                    ::std::concat!("case ", "{}", $(" ", ::std::stringify!($arg), " = {:?}",)+),
+                    __case, $(&$arg,)+
+                );
+                // The body runs inside a `Result`-returning closure like in
+                // real proptest, so `return Ok(())` early-exits work.
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match __result {
+                    ::std::result::Result::Err(__panic) => {
+                        ::std::eprintln!(
+                            "proptest case failed: {} ({})",
+                            ::std::stringify!($name),
+                            __case_desc
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(__rejected)) => {
+                        ::std::panic!(
+                            "proptest case rejected: {} ({}): {}",
+                            ::std::stringify!($name),
+                            __case_desc,
+                            __rejected
+                        );
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assertion inside a `proptest!` body; panics (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -1.5..2.5f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_compiles(seed in 0u64..5) {
+            prop_assert!(seed < 5);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` directly
+//! on top of `proc_macro` (the environment has no crates.io access, so
+//! `syn`/`quote` are unavailable). Coverage is intentionally narrow — the
+//! shapes this workspace actually derives on:
+//!
+//! * structs with named fields (no generics);
+//! * enums whose variants are unit or have named fields.
+//!
+//! `Serialize` lowers into the `serde::Value` tree with serde's default
+//! representation (struct → map, unit variant → string, struct variant →
+//! externally tagged map). `Deserialize` emits an empty marker impl: the
+//! workspace never deserializes, it only needs the attribute to compile.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant name, None)` for unit variants,
+    /// `(variant name, Some(fields))` for struct variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+/// Split the top-level tokens of a group body on commas (groups nest as
+/// single `TokenTree`s, so no depth tracking is needed).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("non-empty").push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Drop leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// from a token chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = chunk;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(_), tail @ ..] if p.as_char() == '#' => {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), TokenTree::Group(g), tail @ ..]
+                if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), tail @ ..] if id.to_string() == "pub" => {
+                rest = tail;
+            }
+            _ => return rest,
+        }
+    }
+}
+
+/// Parse `name: Type` chunks into field names.
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_commas(group_tokens)
+        .into_iter()
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(&chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Parse the derive input down to `(type name, body)`.
+fn parse_input(input: TokenStream) -> (String, Body) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut rest = strip_attrs_and_vis(&tokens);
+    let is_enum = match rest.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    rest = &rest[1..];
+    let name = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    rest = &rest[1..];
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+    }
+    let body_group = rest
+        .iter()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde_derive shim: `{name}` has no braced body (tuple/unit types unsupported)")
+        });
+    let body_tokens: Vec<TokenTree> = body_group.stream().into_iter().collect();
+    let body = if is_enum {
+        let variants = split_commas(body_tokens)
+            .into_iter()
+            .map(|chunk| {
+                let rest = strip_attrs_and_vis(&chunk);
+                let vname = match rest.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+                };
+                let fields = match rest.get(1) {
+                    None => None,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Some(parse_named_fields(g.stream().into_iter().collect()))
+                    }
+                    other => panic!(
+                        "serde_derive shim: variant `{vname}` has unsupported shape {other:?}"
+                    ),
+                };
+                (vname, fields)
+            })
+            .collect();
+        Body::Enum(variants)
+    } else {
+        Body::Struct(parse_named_fields(body_tokens))
+    };
+    (name, body)
+}
+
+/// `#[derive(Serialize)]` — lower the type into a `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let to_value_body = match body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    None => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Some(fields) => {
+                        let pattern = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {pattern} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                              ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{ {to_value_body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — marker impl only (nothing in the workspace
+/// deserializes; the attribute just has to keep compiling).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_input(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `serde_json`: serialization only, driven by the
+//! `serde::Value` tree the vendored `serde` produces. Output is valid
+//! JSON; non-finite floats print as `null` (matching what real
+//! `serde_json` does for `f64::NAN` under its default arbitrary-precision
+//! behaviour — it errors; `null` is the lossy-but-total choice so the
+//! experiment tables never panic mid-run).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The shim's printer is total, so this is never
+/// constructed, but the public API keeps `Result` for drop-in
+/// compatibility with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{}` on f64 is the shortest round-trip form, always a
+                // valid JSON number (e.g. "2", "2.5", "1e-7").
+                out.push_str(&x.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            write_items(out, items.len(), indent, depth, |o, i| {
+                write_value(o, &items[i], indent, depth + 1);
+            });
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            write_items(out, entries.len(), indent, depth, |o, i| {
+                let (key, v) = &entries[i];
+                write_string(o, key);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, depth + 1);
+            });
+            out.push('}');
+        }
+    }
+}
+
+/// Shared comma/newline/indent layout for arrays and objects.
+fn write_items(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    write_entry: impl Fn(&mut String, usize),
+) {
+    if len == 0 {
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_entry(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let v = Value::Map(vec![
+            ("id".to_string(), Value::Str("T1".to_string())),
+            (
+                "rows".to_string(),
+                Value::Seq(vec![Value::UInt(1), Value::Float(2.5), Value::Null]),
+            ),
+            ("ok".to_string(), Value::Bool(true)),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"id":"T1","rows":[1,2.5,null],"ok":true}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"id\": \"T1\""), "pretty = {pretty}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::Str("a\"b\\c\nd".to_string());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
