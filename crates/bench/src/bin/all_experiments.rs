@@ -1,44 +1,25 @@
-//! Run every experiment back to back (the full EXPERIMENTS.md record).
+//! Sweep every registered experiment over its full scenario matrix (the
+//! complete EXPERIMENTS.md record).
 //!
 //! ```text
 //! all_experiments [SEEDS] [--json[=PATH]]
 //! ```
 //!
-//! * `SEEDS` — seeds per cell for the statistical tables (default 20).
-//! * `--json` — after the run, also write a machine-readable summary
-//!   (per-experiment wall time, verdicts, and full tables) to
-//!   `BENCH_baseline.json`, or to `PATH` with `--json=PATH`. Future perf
-//!   PRs diff their own run against the committed baseline.
+//! * `SEEDS` — seeds per `(experiment, scenario)` cell (default 20).
+//! * `--json` — after the run, also write the versioned machine-readable
+//!   sweep summary (per-experiment status, verdict, per-cell timings and
+//!   full tables) to `BENCH_baseline.json`, or to `PATH` with
+//!   `--json=PATH`. CI diffs its own 3-seed run against the committed
+//!   20-seed baseline with `bench_compare`.
 //!
-//! Stdout always carries the human-rendered tables here — the baseline
+//! Stdout always carries the human-rendered tables here — the summary
 //! file is the machine-readable channel (the single-table binaries keep
-//! `Table::emit`'s `--json` stdout switch instead). Unknown arguments
-//! are an error.
+//! a `--json` stdout switch instead). Unknown arguments are an error.
 
-use serde::Serialize;
-use std::time::Instant;
-use wmcs_bench::experiments as ex;
-use wmcs_bench::Table;
-
-/// One timed experiment in the summary file.
-#[derive(Serialize)]
-struct ExperimentRecord {
-    /// Wall-clock seconds for the experiment's full computation.
-    seconds: f64,
-    /// The rendered table (id, title, claim, columns, rows, verdict).
-    table: Table,
-}
-
-/// The whole machine-readable run.
-#[derive(Serialize)]
-struct Summary {
-    /// Seeds per cell the statistical tables were run with.
-    seeds: u64,
-    /// Total wall-clock seconds across all experiments.
-    total_seconds: f64,
-    /// Per-experiment timing and results, in run order.
-    experiments: Vec<ExperimentRecord>,
-}
+use wmcs_bench::cli::try_seeds_arg;
+use wmcs_bench::compare::summary_json;
+use wmcs_bench::engine::{run_sweep, SweepConfig};
+use wmcs_bench::registry::REGISTRY;
 
 fn main() {
     let mut seeds: Option<u64> = None;
@@ -49,58 +30,29 @@ fn main() {
             json_path = Some("BENCH_baseline.json".to_string());
         } else if let Some(path) = arg.strip_prefix("--json=") {
             json_path = Some(path.to_string());
-        } else if let Ok(n) = arg.parse() {
-            if n == 0 {
-                eprintln!("SEEDS must be at least 1\n{usage}");
-                std::process::exit(2);
-            }
-            if let Some(prev) = seeds.replace(n) {
-                eprintln!("SEEDS given twice ({prev}, then {n})\n{usage}");
-                std::process::exit(2);
-            }
-        } else {
+        } else if !try_seeds_arg(&arg, &mut seeds, usage) {
             eprintln!("unrecognised argument `{arg}`\n{usage}");
             std::process::exit(2);
         }
     }
-    let seeds = seeds.unwrap_or(20);
 
-    let runs: Vec<Box<dyn Fn(u64) -> Table>> = vec![
-        Box::new(|_| ex::f1::run()),
-        Box::new(|_| ex::f2::run()),
-        Box::new(ex::t1::run),
-        Box::new(ex::t2::run),
-        Box::new(ex::t3::run),
-        Box::new(ex::t4::run),
-        Box::new(ex::t5::run),
-        Box::new(ex::t6::run),
-        Box::new(ex::t7::run),
-        Box::new(ex::t9::run),
-    ];
-
-    let mut summary = Summary {
-        seeds,
-        total_seconds: 0.0,
-        experiments: Vec::with_capacity(runs.len()),
-    };
-    for run in runs {
-        let start = Instant::now();
-        let table = run(seeds);
-        let seconds = start.elapsed().as_secs_f64();
-        table.print();
-        summary.total_seconds += seconds;
-        summary
-            .experiments
-            .push(ExperimentRecord { seconds, table });
+    let cfg = SweepConfig::with_seeds(seeds.unwrap_or(20));
+    let run = run_sweep(REGISTRY, &cfg);
+    for exp in &run.experiments {
+        exp.table.print();
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&summary).expect("summary is serialisable");
-        std::fs::write(&path, json + "\n").expect("baseline file is writable");
+        std::fs::write(&path, summary_json(&run)).expect("summary file is writable");
         eprintln!(
-            "wrote {} experiments ({:.2}s total) to {path}",
-            summary.experiments.len(),
-            summary.total_seconds
+            "wrote {} experiments ({:.2}s compute) to {path}",
+            run.experiments.len(),
+            run.total_seconds
         );
+    }
+
+    if run.experiments.iter().any(|e| !e.pass) {
+        eprintln!("some experiments FAILED their gated claims");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,69 @@
+//! Diff two sweep-summary files (the CI perf/verdict regression gate).
+//!
+//! ```text
+//! bench_compare BASELINE.json CANDIDATE.json [--tol=FRAC]
+//! ```
+//!
+//! Exits 0 when every experiment's pass/fail status and verdict match the
+//! baseline, 1 on any drift, 2 on usage or parse errors. Timing deltas
+//! (per seed-cell, so a 3-seed CI sweep compares against the 20-seed
+//! committed baseline) are always printed; by default they are
+//! informational, and with `--tol=0.5` a candidate experiment more than
+//! 50% slower than its baseline fails the gate too.
+
+use wmcs_bench::compare::compare_summaries;
+
+fn main() {
+    let usage = "usage: bench_compare BASELINE.json CANDIDATE.json [--tol=FRAC]";
+    let mut files: Vec<String> = Vec::new();
+    let mut tolerance: Option<f64> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(t) = arg.strip_prefix("--tol=") {
+            match t.parse::<f64>() {
+                Ok(t) if t >= 0.0 => tolerance = Some(t),
+                _ => {
+                    eprintln!("--tol needs a nonnegative fraction (e.g. --tol=0.5)\n{usage}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("unrecognised flag `{arg}`\n{usage}");
+            std::process::exit(2);
+        } else {
+            files.push(arg);
+        }
+    }
+    let [baseline_path, candidate_path] = &files[..] else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let candidate = read(candidate_path);
+
+    match compare_summaries(&baseline, &candidate, tolerance) {
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Ok(cmp) => {
+            println!("timings (baseline → candidate, informational unless --tol given):");
+            print!("{}", cmp.timing_report);
+            if cmp.ok() {
+                println!("OK: verdicts match the baseline");
+            } else {
+                println!("DRIFT against the baseline:");
+                for d in &cmp.drifts {
+                    println!("  {d}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

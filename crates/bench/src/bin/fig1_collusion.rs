@@ -1,4 +1,5 @@
-//! Regenerate experiment F1 (see EXPERIMENTS.md).
+//! Regenerate experiment F1 (see EXPERIMENTS.md) over its full scenario
+//! matrix. Usage: `fig1_collusion [SEEDS] [--json]`.
 fn main() {
-    wmcs_bench::experiments::f1::run().emit();
+    wmcs_bench::cli::table_main("F1");
 }

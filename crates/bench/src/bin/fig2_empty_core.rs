@@ -1,4 +1,5 @@
-//! Regenerate experiment F2 (see EXPERIMENTS.md).
+//! Regenerate experiment F2 (see EXPERIMENTS.md) over its full scenario
+//! matrix. Usage: `fig2_empty_core [SEEDS] [--json]`.
 fn main() {
-    wmcs_bench::experiments::f2::run().emit();
+    wmcs_bench::cli::table_main("F2");
 }

@@ -1,8 +1,5 @@
-//! Regenerate experiment T7 (see EXPERIMENTS.md). Optional arg: seeds per cell.
+//! Regenerate experiment T7 (see EXPERIMENTS.md) over its full scenario
+//! matrix. Usage: `table_jv_bb [SEEDS] [--json]`.
 fn main() {
-    let seeds = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
-    wmcs_bench::experiments::t7::run(seeds).emit();
+    wmcs_bench::cli::table_main("T7");
 }

@@ -1,0 +1,55 @@
+//! Shared argument parsing for the sweep binaries.
+//!
+//! Every `table_*` / `fig*` binary is a two-liner that resolves its
+//! experiment through the registry and delegates to [`table_main`]; all
+//! sweeping goes through [`crate::engine::run_sweep`], so no binary
+//! carries its own seed loop or output-format sniffing.
+//! `all_experiments` shares the positional-SEEDS handling via
+//! [`try_seeds_arg`].
+
+use crate::engine::{run_sweep, SweepConfig};
+use crate::harness::OutputMode;
+use crate::registry;
+
+/// Try to consume `arg` as the positional SEEDS value. Returns `false`
+/// when `arg` is not a number (the caller handles its own flags); exits
+/// with status 2 (printing `usage`) when SEEDS is zero or given twice.
+pub fn try_seeds_arg(arg: &str, seeds: &mut Option<u64>, usage: &str) -> bool {
+    let Ok(n) = arg.parse::<u64>() else {
+        return false;
+    };
+    if n == 0 {
+        eprintln!("SEEDS must be at least 1\n{usage}");
+        std::process::exit(2);
+    }
+    if let Some(prev) = seeds.replace(n) {
+        eprintln!("SEEDS given twice ({prev}, then {n})\n{usage}");
+        std::process::exit(2);
+    }
+    true
+}
+
+/// Parse `[SEEDS] [--json]` and run the single experiment `id`,
+/// emitting its table to stdout in the requested mode. Exits with
+/// status 2 on bad arguments (unknown flag, zero or repeated SEEDS).
+pub fn table_main(id: &str) {
+    let program = std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|p| p.rsplit(['/', '\\']).next().map(str::to_string))
+        .unwrap_or_else(|| id.to_lowercase());
+    let usage = format!("usage: {program} [SEEDS] [--json]");
+    let mut seeds: Option<u64> = None;
+    let mut mode = OutputMode::Text;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            mode = OutputMode::Json;
+        } else if !try_seeds_arg(&arg, &mut seeds, &usage) {
+            eprintln!("unrecognised argument `{arg}`\n{usage}");
+            std::process::exit(2);
+        }
+    }
+    let exp = registry::find(id).unwrap_or_else(|| panic!("experiment {id} is not registered"));
+    let run = run_sweep(&[exp], &SweepConfig::with_seeds(seeds.unwrap_or(20)));
+    run.experiments[0].table.emit(mode);
+}

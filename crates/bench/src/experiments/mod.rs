@@ -1,5 +1,7 @@
 //! One module per experiment in `EXPERIMENTS.md` (per-experiment index in
-//! `DESIGN.md` §4). Each exposes `run(…) -> Table`.
+//! `DESIGN.md` §4). Each exposes a unit struct implementing
+//! [`crate::registry::Experiment`]; the instances are registered in
+//! [`crate::registry::REGISTRY`] and swept by [`crate::engine::run_sweep`].
 
 pub mod f1;
 pub mod f2;

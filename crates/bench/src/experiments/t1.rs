@@ -1,31 +1,28 @@
 //! T1 — Lemma 2.1 + §2.1 mechanisms on universal trees: submodularity,
 //! exact budget balance of Shapley, efficiency of MC, group
-//! strategyproofness.
+//! strategyproofness. Both universal-tree constructions (shortest-path
+//! and MST) are checked on every scenario draw.
 
-use crate::harness::{parallel_map_seeds, random_euclidean, random_utilities, Table};
+use crate::harness::{random_utilities, scenario_network};
+use crate::registry::{all_true, col, fmax, fmin, Experiment, Obs, RowSummary};
 use wmcs_game::{
     find_group_deviation, find_unilateral_deviation, is_nondecreasing, is_submodular, CostFunction,
     ExplicitGame,
 };
+use wmcs_geom::{LayoutFamily, Scenario};
 use wmcs_mechanisms::{UniversalMcMechanism, UniversalShapleyMechanism};
-use wmcs_wireless::{UniversalTree, UniversalTreeCost};
+use wmcs_wireless::{UniversalTree, UniversalTreeCost, WirelessNetwork};
 
-struct Row {
-    n: usize,
-    kind: &'static str,
-    submodular: bool,
-    monotone: bool,
-    max_bb_err: f64,
-    mc_efficiency: f64,
-    deviations: usize,
-}
+/// The T1 experiment (registered as `"T1"`).
+pub struct T1;
 
-fn one(seed: u64, n: usize, use_mst: bool) -> Row {
-    let net = random_euclidean(seed, n, 2.0, 10.0);
+/// Per-tree checks: [submodular, monotone, max BB error, MC efficiency,
+/// deviations].
+fn one_tree(net: &WirelessNetwork, seed: u64, use_mst: bool) -> [f64; 5] {
     let ut = if use_mst {
-        UniversalTree::mst_tree(net)
+        UniversalTree::mst_tree(net.clone())
     } else {
-        UniversalTree::shortest_path_tree(net)
+        UniversalTree::shortest_path_tree(net.clone())
     };
     let cost = UniversalTreeCost::new(ut.clone());
     let game = ExplicitGame::tabulate(&cost);
@@ -65,68 +62,87 @@ fn one(seed: u64, n: usize, use_mst: bool) -> Row {
     if players <= 6 && find_group_deviation(&sh, &u, 2, 1e-7).is_some() {
         deviations += 1;
     }
-    Row {
-        n,
-        kind: if use_mst { "mst" } else { "spt" },
-        submodular,
-        monotone,
+    [
+        f64::from(submodular),
+        f64::from(monotone),
         max_bb_err,
         mc_efficiency,
-        deviations,
-    }
+        deviations as f64,
+    ]
 }
 
-/// Run T1.
-pub fn run(seeds_per_cell: u64) -> Table {
-    let mut t = Table::new(
-        "T1",
-        "universal trees (Lemma 2.1 + §2.1)",
-        "C_T submodular & monotone; Shapley exactly BB; MC efficient; M(Shapley) group-SP",
-        &[
-            "n",
-            "tree",
-            "seeds",
-            "submodular",
-            "monotone",
-            "max |Σφ−C|",
-            "MC efficiency",
-            "deviations",
-        ],
-    );
-    let mut all_good = true;
-    for &(n, use_mst) in &[
-        (6usize, false),
-        (6, true),
-        (8, false),
-        (8, true),
-        (10, false),
-    ] {
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 37 + n as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, use_mst));
-        let submod = rows.iter().all(|r| r.submodular);
-        let mono = rows.iter().all(|r| r.monotone);
-        let bb = rows.iter().map(|r| r.max_bb_err).fold(0.0, f64::max);
-        let eff_min = rows
-            .iter()
-            .map(|r| r.mc_efficiency)
-            .fold(f64::INFINITY, f64::min);
-        let devs: usize = rows.iter().map(|r| r.deviations).sum();
-        all_good &= submod && mono && bb < 1e-6 && (eff_min - 1.0).abs() < 1e-6 && devs == 0;
-        t.push_row(vec![
-            rows[0].n.to_string(),
-            rows[0].kind.to_string(),
-            seeds.len().to_string(),
-            submod.to_string(),
-            mono.to_string(),
-            format!("{bb:.2e}"),
-            format!("{eff_min:.6}"),
-            devs.to_string(),
-        ]);
+impl Experiment for T1 {
+    fn id(&self) -> &'static str {
+        "T1"
     }
-    t.verdict = if all_good {
-        "Lemma 2.1 and both §2.1 mechanisms reproduce exactly".into()
-    } else {
-        "MISMATCH".into()
-    };
-    t
+
+    fn title(&self) -> &'static str {
+        "universal trees (Lemma 2.1 + §2.1)"
+    }
+
+    fn claim(&self) -> &'static str {
+        "C_T submodular & monotone; Shapley exactly BB; MC efficient; M(Shapley) group-SP — \
+         for both tree constructions on every layout"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "scenario",
+            "seeds",
+            "submod spt/mst",
+            "monotone spt/mst",
+            "max |Σφ−C|",
+            "min MC eff",
+            "deviations",
+        ]
+    }
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        vec![
+            Scenario::new(LayoutFamily::UniformBox, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::Clustered, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::Grid, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::Circle, 7, 2, 2.0),
+            Scenario::new(LayoutFamily::Line, 7, 1, 2.0),
+            Scenario::new(LayoutFamily::UniformBox, 6, 3, 2.0),
+        ]
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let net = scenario_network(scenario, seed);
+        let spt = one_tree(&net, seed, false);
+        let mst = one_tree(&net, seed, true);
+        spt.into_iter().chain(mst).collect()
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        // Component layout: spt at 0..5, mst at 5..10.
+        let submod = all_true(obs, 0) && all_true(obs, 5);
+        let mono = all_true(obs, 1) && all_true(obs, 6);
+        let bb = fmax(obs, 2).max(fmax(obs, 7));
+        let eff = fmin(obs, 3).min(fmin(obs, 8));
+        // The deviation components count 0–2 findings per seed per tree
+        // (unilateral + group), so sum them rather than counting seeds.
+        let devs = (col(obs, 4).sum::<f64>() + col(obs, 9).sum::<f64>()) as usize;
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                obs.len().to_string(),
+                format!("{}/{}", all_true(obs, 0), all_true(obs, 5)),
+                format!("{}/{}", all_true(obs, 1), all_true(obs, 6)),
+                format!("{bb:.2e}"),
+                format!("{eff:.6}"),
+                devs.to_string(),
+            ],
+            submod && mono && bb < 1e-6 && (eff - 1.0).abs() < 1e-6 && devs == 0,
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "Lemma 2.1 and both §2.1 mechanisms reproduce exactly on every layout".into()
+        } else {
+            "MISMATCH".into()
+        }
+    }
 }

@@ -1,54 +1,33 @@
 //! T3 — §2.2.3: the wireless multicast mechanism's budget-balance factor
 //! against exact MEMT, feasibility of the built assignment, and
-//! strategyproofness sweeps.
+//! strategyproofness sweeps, across the spatial layout families.
 
-use crate::harness::{parallel_map_seeds, random_euclidean, random_utilities, Table};
+use crate::harness::{random_utilities, scenario_network};
+use crate::registry::{all_true, count_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_game::find_unilateral_deviation;
+use wmcs_geom::{LayoutFamily, Scenario};
 use wmcs_mechanisms::WirelessMulticastMechanism;
 use wmcs_wireless::memt_exact;
 
-struct Row {
-    ratio: f64,
-    recovered: bool,
-    feasible: bool,
-    deviation: bool,
-}
+/// The T3 experiment (registered as `"T3"`).
+pub struct T3;
 
-fn one(seed: u64, n: usize) -> Row {
-    let net = random_euclidean(seed, n, 2.0, 6.0);
-    let mech = WirelessMulticastMechanism::new(net.clone());
-    let k = net.n_players();
-    let all_stations: Vec<usize> = (0..net.n_stations())
-        .filter(|&x| x != net.source())
-        .collect();
-    let (opt, _) = memt_exact(&net, &all_stations);
-    let out = mech.run_full(&vec![1e9; k]);
-    let stations: Vec<usize> = out
-        .outcome
-        .receivers
-        .iter()
-        .map(|&p| net.station_of_player(p))
-        .collect();
-    let feasible = out.assignment.multicasts_to(&net, &stations);
-    let ratio = out.outcome.revenue() / opt;
-    let recovered = out.outcome.revenue() + 1e-9 >= out.outcome.served_cost;
-    let u = random_utilities(seed ^ 0xd00d, k, 40.0);
-    let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some();
-    Row {
-        ratio,
-        recovered,
-        feasible,
-        deviation,
+impl Experiment for T3 {
+    fn id(&self) -> &'static str {
+        "T3"
     }
-}
 
-/// Run T3.
-pub fn run(seeds_per_cell: u64) -> Table {
-    let mut t = Table::new(
-        "T3",
-        "wireless multicast mechanism (§2.2.3) vs exact MEMT",
-        "revenue ≤ 3 ln(k+1) · C*; cost recovered; assignment feasible; strategyproof",
+    fn title(&self) -> &'static str {
+        "wireless multicast mechanism (§2.2.3) vs exact MEMT"
+    }
+
+    fn claim(&self) -> &'static str {
+        "revenue ≤ 3 ln(k+1) · C*; cost recovered; assignment feasible; strategyproof"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
         &[
+            "scenario",
             "k",
             "seeds",
             "mean Σc/C*",
@@ -57,43 +36,82 @@ pub fn run(seeds_per_cell: u64) -> Table {
             "cost recovery",
             "feasible",
             "deviations",
-        ],
-    );
-    let mut all_good = true;
-    let mut total_devs = 0usize;
-    let mut total_profiles = 0usize;
-    for &n in &[5usize, 6, 7, 8] {
-        let k = n - 1;
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 211 + n as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n));
-        let mean = rows.iter().map(|r| r.ratio).sum::<f64>() / rows.len() as f64;
-        let max = rows.iter().map(|r| r.ratio).fold(0.0, f64::max);
-        let bound = (3.0 * ((k + 1) as f64).ln()).max(4.0);
-        let recovered = rows.iter().all(|r| r.recovered);
-        let feasible = rows.iter().all(|r| r.feasible);
-        let devs = rows.iter().filter(|r| r.deviation).count();
-        total_devs += devs;
-        total_profiles += rows.len();
-        all_good &= max <= bound + 1e-6 && recovered && feasible;
-        t.push_row(vec![
-            k.to_string(),
-            rows.len().to_string(),
-            format!("{mean:.3}"),
-            format!("{max:.3}"),
-            format!("{bound:.3}"),
-            recovered.to_string(),
-            feasible.to_string(),
-            devs.to_string(),
-        ]);
+        ]
     }
-    t.verdict = if all_good {
-        format!(
-            "β-BB bound holds with large slack; always feasible; SP deviations on \
-             {total_devs}/{total_profiles} random profiles — the same Eq. (5) threshold-tightness \
-             finding as T2 (DESIGN.md §3a)"
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        Scenario::matrix(
+            &[
+                LayoutFamily::UniformBox,
+                LayoutFamily::Clustered,
+                LayoutFamily::Grid,
+                LayoutFamily::Circle,
+                LayoutFamily::Line,
+            ],
+            &[6, 8],
+            &[2],
+            &[2.0],
         )
-    } else {
-        "MISMATCH on the BB/feasibility claims".into()
-    };
-    t
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let net = scenario_network(scenario, seed);
+        let mech = WirelessMulticastMechanism::new(net.clone());
+        let k = net.n_players();
+        let all_stations: Vec<usize> = (0..net.n_stations())
+            .filter(|&x| x != net.source())
+            .collect();
+        let (opt, _) = memt_exact(&net, &all_stations);
+        let out = mech.run_full(&vec![1e9; k]);
+        let stations: Vec<usize> = out
+            .outcome
+            .receivers
+            .iter()
+            .map(|&p| net.station_of_player(p))
+            .collect();
+        let feasible = out.assignment.multicasts_to(&net, &stations);
+        let ratio = out.outcome.revenue() / opt;
+        let recovered = out.outcome.revenue() + 1e-9 >= out.outcome.served_cost;
+        let u = random_utilities(seed ^ 0xd00d, k, 40.0);
+        let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some();
+        vec![
+            ratio,
+            f64::from(recovered),
+            f64::from(feasible),
+            f64::from(deviation),
+        ]
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        let k = scenario.n - 1;
+        let bound = (3.0 * ((k + 1) as f64).ln()).max(4.0);
+        let max = fmax(obs, 0);
+        let recovered = all_true(obs, 1);
+        let feasible = all_true(obs, 2);
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                k.to_string(),
+                obs.len().to_string(),
+                format!("{:.3}", mean(obs, 0)),
+                format!("{max:.3}"),
+                format!("{bound:.3}"),
+                recovered.to_string(),
+                feasible.to_string(),
+                count_true(obs, 3).to_string(),
+            ],
+            max <= bound + 1e-6 && recovered && feasible,
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "β-BB bound holds with large slack on every layout; always feasible; SP \
+             deviations on random profiles are the Eq. (5) threshold-tightness finding \
+             shared with T2 (DESIGN.md §3a)"
+                .into()
+        } else {
+            "MISMATCH on the BB/feasibility claims".into()
+        }
+    }
 }

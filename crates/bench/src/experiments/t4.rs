@@ -1,44 +1,45 @@
 //! T4 — Lemma 3.1 / Theorem 3.2: the optimal mechanisms for `α = 1` and
 //! `d = 1`, including the documented reproduction finding for the line
 //! case (chain form vs true optimum).
+//!
+//! The scenario matrix carries both regimes: every non-line scenario runs
+//! at `α = 1` (the Theorem 3.2 solver, any layout and dimension), and the
+//! [`LayoutFamily::Line`] scenarios sweep `α ∈ {1, 2, 3}` (the Lemma 3.1
+//! chain form). [`T4::measure`] dispatches on the family.
 
-use crate::harness::{parallel_map_seeds, random_euclidean_d, random_line, Table};
+use crate::harness::scenario_network;
+use crate::registry::{all_true, fmax, fmin, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{is_submodular, CostFunction, ExplicitGame, Mechanism};
+use wmcs_geom::{LayoutFamily, Scenario};
 use wmcs_mechanisms::{AlphaOneShapleyMechanism, LineShapleyMechanism};
-use wmcs_wireless::{memt_exact, AlphaOneCost, AlphaOneSolver, LineCost, LineSolver};
+use wmcs_wireless::{
+    memt_exact, AlphaOneCost, AlphaOneSolver, LineCost, LineSolver, WirelessNetwork,
+};
 
-struct AlphaRow {
-    exact_match: bool,
-    submodular: bool,
-    bb_ratio: f64,
-}
+/// The T4 experiment (registered as `"T4"`).
+pub struct T4;
 
-fn alpha_one(seed: u64, n: usize, d: usize) -> AlphaRow {
-    let net = random_euclidean_d(seed, n, d, 1.0, 6.0);
+/// `α = 1` observation: [exact match, submodular, Shapley BB ratio].
+fn alpha_one(net: WirelessNetwork) -> Obs {
     let solver = AlphaOneSolver::new(net.clone());
-    let all: Vec<usize> = (0..net.n_stations()).filter(|&x| x != 0).collect();
+    let all: Vec<usize> = (0..net.n_stations())
+        .filter(|&x| x != net.source())
+        .collect();
     let (opt, _) = memt_exact(&net, &all);
     let exact_match = (solver.optimal_cost(&all) - opt).abs() < 1e-6 * opt.max(1.0);
     let game = ExplicitGame::tabulate(&AlphaOneCost::new(solver));
     let submodular = is_submodular(&game);
     let mech = AlphaOneShapleyMechanism::new(AlphaOneSolver::new(net));
     let out = mech.run(&vec![1e9; game.n_players()]);
-    let bb_ratio = out.revenue() / opt;
-    AlphaRow {
-        exact_match,
-        submodular,
-        bb_ratio,
-    }
+    vec![
+        f64::from(exact_match),
+        f64::from(submodular),
+        out.revenue() / opt,
+    ]
 }
 
-struct LineRow {
-    chain_gap: f64,
-    submodular_chain: bool,
-    shapley_vs_true: f64,
-}
-
-fn line(seed: u64, n: usize, alpha: f64) -> LineRow {
-    let net = random_line(seed, n, alpha, 20.0);
+/// `d = 1` observation: [chain gap, chain submodular, Shapley β vs C*].
+fn line(net: WirelessNetwork) -> Obs {
     let solver = LineSolver::new(net.clone());
     let all: Vec<usize> = (0..net.n_stations())
         .filter(|&x| x != net.source())
@@ -50,70 +51,98 @@ fn line(seed: u64, n: usize, alpha: f64) -> LineRow {
     let submodular_chain = is_submodular(&game);
     let mech = LineShapleyMechanism::new(LineSolver::new(net));
     let out = mech.run(&vec![1e9; game.n_players()]);
-    let shapley_vs_true = out.revenue() / opt;
-    LineRow {
-        chain_gap,
-        submodular_chain,
-        shapley_vs_true,
-    }
+    vec![chain_gap, f64::from(submodular_chain), out.revenue() / opt]
 }
 
-/// Run T4.
-pub fn run(seeds_per_cell: u64) -> Table {
-    let mut t = Table::new(
-        "T4",
-        "Euclidean optimal mechanisms (Lemma 3.1 / Thm 3.2)",
-        "α=1: solver exact, C* submodular, Shapley 1-BB. d=1: chain form submodular & 1-BB \
-         w.r.t. itself; measured β vs TRUE optimum exposes the Lemma 3.1(d=1) gap (DESIGN.md §3a)",
+impl Experiment for T4 {
+    fn id(&self) -> &'static str {
+        "T4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Euclidean optimal mechanisms (Lemma 3.1 / Thm 3.2)"
+    }
+
+    fn claim(&self) -> &'static str {
+        "α=1: solver exact, C* submodular, Shapley 1-BB on every layout. d=1: chain form \
+         submodular & 1-BB w.r.t. itself; measured β vs TRUE optimum exposes the \
+         Lemma 3.1(d=1) gap (DESIGN.md §3a)"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
         &[
-            "case",
+            "scenario",
             "seeds",
             "exact/submod",
             "1-BB vs own C",
             "β vs true C* (mean/max)",
-        ],
-    );
-    let mut all_good = true;
-
-    for &(n, d) in &[(7usize, 1usize), (7, 2), (6, 3)] {
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 17 + d as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| alpha_one(seed, n, d));
-        let exact = rows.iter().all(|r| r.exact_match);
-        let submod = rows.iter().all(|r| r.submodular);
-        let bb_max = rows.iter().map(|r| r.bb_ratio).fold(0.0, f64::max);
-        all_good &= exact && submod && (bb_max - 1.0).abs() < 1e-6;
-        t.push_row(vec![
-            format!("α=1, d={d}"),
-            rows.len().to_string(),
-            format!("{exact}/{submod}"),
-            format!("{bb_max:.6}"),
-            "1.000/1.000".to_string(),
-        ]);
+        ]
     }
 
-    for &alpha in &[1.0f64, 2.0, 3.0] {
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 29 + alpha as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| line(seed, 7, alpha));
-        let submod = rows.iter().all(|r| r.submodular_chain);
-        let mean_beta = rows.iter().map(|r| r.shapley_vs_true).sum::<f64>() / rows.len() as f64;
-        let max_beta = rows.iter().map(|r| r.shapley_vs_true).fold(0.0, f64::max);
-        let max_gap = rows.iter().map(|r| r.chain_gap).fold(0.0, f64::max);
-        // Chain form must be submodular and upper-bound the optimum.
-        all_good &= submod && rows.iter().all(|r| r.chain_gap >= -1e-9);
-        t.push_row(vec![
-            format!("d=1, α={alpha} (chain gap ≤ {:.1}%)", 100.0 * max_gap),
-            rows.len().to_string(),
-            format!("chain-submod: {submod}"),
-            "1.000000".to_string(),
-            format!("{mean_beta:.3}/{max_beta:.3}"),
-        ]);
+    fn scenarios(&self) -> Vec<Scenario> {
+        vec![
+            // Theorem 3.2 regime: α = 1 on every layout family.
+            Scenario::new(LayoutFamily::UniformBox, 7, 2, 1.0),
+            Scenario::new(LayoutFamily::Clustered, 7, 2, 1.0),
+            Scenario::new(LayoutFamily::Grid, 7, 2, 1.0),
+            Scenario::new(LayoutFamily::Circle, 7, 2, 1.0),
+            Scenario::new(LayoutFamily::UniformBox, 6, 3, 1.0),
+            // Lemma 3.1 regime: d = 1, sweeping the gradient.
+            Scenario::new(LayoutFamily::Line, 7, 1, 1.0),
+            Scenario::new(LayoutFamily::Line, 7, 1, 2.0),
+            Scenario::new(LayoutFamily::Line, 7, 1, 3.0),
+        ]
     }
-    t.verdict = if all_good {
-        "α=1 exactly as claimed; d=1 exact w.r.t. chain form, small measured β vs true optimum \
-         (the documented Lemma 3.1(d=1) finding)"
-            .into()
-    } else {
-        "MISMATCH".into()
-    };
-    t
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let net = scenario_network(scenario, seed);
+        if scenario.family == LayoutFamily::Line {
+            line(net)
+        } else {
+            alpha_one(net)
+        }
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        if scenario.family == LayoutFamily::Line {
+            let submod = all_true(obs, 1);
+            let max_gap = fmax(obs, 0);
+            let gaps_nonneg = fmin(obs, 0) >= -1e-9;
+            RowSummary::gated(
+                vec![
+                    format!("{} (chain gap ≤ {:.1}%)", scenario.label(), 100.0 * max_gap),
+                    obs.len().to_string(),
+                    format!("chain-submod: {submod}"),
+                    "1.000000".to_string(),
+                    format!("{:.3}/{:.3}", mean(obs, 2), fmax(obs, 2)),
+                ],
+                // Chain form must be submodular and upper-bound the optimum.
+                submod && gaps_nonneg,
+            )
+        } else {
+            let exact = all_true(obs, 0);
+            let submod = all_true(obs, 1);
+            let bb_max = fmax(obs, 2);
+            RowSummary::gated(
+                vec![
+                    scenario.label(),
+                    obs.len().to_string(),
+                    format!("{exact}/{submod}"),
+                    format!("{bb_max:.6}"),
+                    "1.000/1.000".to_string(),
+                ],
+                exact && submod && (bb_max - 1.0).abs() < 1e-6,
+            )
+        }
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "α=1 exactly as claimed on every layout; d=1 exact w.r.t. chain form, small \
+             measured β vs true optimum (the documented Lemma 3.1(d=1) finding)"
+                .into()
+        } else {
+            "MISMATCH".into()
+        }
+    }
 }

@@ -1,41 +1,41 @@
 //! T6 — Lemmas 3.4/3.5: the MST broadcast heuristic and the KMB Steiner
 //! heuristic against the exact optimum, vs the paper's `3^d − 1` bounds
-//! (6 for d = 2 by Ambühl).
+//! (6 for d = 2 by Ambühl), across the layout families.
 
-use crate::harness::{parallel_map_seeds, random_euclidean_d, Table};
+use crate::harness::scenario_network;
+use crate::registry::{fmax, mean, Experiment, Obs, RowSummary};
+use wmcs_geom::{LayoutFamily, Scenario};
 use wmcs_wireless::{bip_broadcast, memt_exact, mst_broadcast, steiner_multicast};
 
-struct Row {
-    mst_ratio: f64,
-    steiner_ratio: f64,
-    bip_ratio: f64,
-}
+/// The T6 experiment (registered as `"T6"`).
+pub struct T6;
 
-fn one(seed: u64, n: usize, d: usize, alpha: f64) -> Row {
-    let net = random_euclidean_d(seed, n, d, alpha, 10.0);
-    let all: Vec<usize> = (1..n).collect();
-    let (opt, _) = memt_exact(&net, &all);
-    let mst = mst_broadcast(&net);
-    let (_, steiner) = steiner_multicast(&net, &all);
-    let (bip, _) = bip_broadcast(&net);
-    Row {
-        mst_ratio: mst.total_cost() / opt,
-        steiner_ratio: steiner.total_cost() / opt,
-        bip_ratio: bip.total_cost() / opt,
+/// The paper's MST-broadcast bound for dimension `d` (Ambühl's 6 at d=2).
+fn mst_bound(d: usize) -> f64 {
+    if d == 2 {
+        6.0
+    } else {
+        3f64.powi(d as i32) - 1.0
     }
 }
 
-/// Run T6.
-pub fn run(seeds_per_cell: u64) -> Table {
-    let mut t = Table::new(
-        "T6",
-        "MST / Steiner heuristics vs exact MEMT (Lemmas 3.4/3.5)",
-        "mst-broadcast ≤ (3^d − 1)·C* (d=2: 6 by Ambühl); Steiner-heuristic assignments never \
-         exceed their tree",
+impl Experiment for T6 {
+    fn id(&self) -> &'static str {
+        "T6"
+    }
+
+    fn title(&self) -> &'static str {
+        "MST / Steiner heuristics vs exact MEMT (Lemmas 3.4/3.5)"
+    }
+
+    fn claim(&self) -> &'static str {
+        "mst-broadcast ≤ (3^d − 1)·C* (d=2: 6 by Ambühl); Steiner-heuristic assignments \
+         never exceed their tree"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
         &[
-            "d",
-            "α",
-            "n",
+            "scenario",
             "seeds",
             "mst mean",
             "mst max",
@@ -43,40 +43,59 @@ pub fn run(seeds_per_cell: u64) -> Table {
             "steiner mean",
             "steiner max",
             "bip mean (ablation)",
-        ],
-    );
-    let mut all_good = true;
-    for &(d, alpha, n) in &[(2usize, 2.0f64, 8usize), (2, 3.0, 8), (3, 3.0, 7)] {
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 53 + d as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, d, alpha));
-        let mst_mean = rows.iter().map(|r| r.mst_ratio).sum::<f64>() / rows.len() as f64;
-        let mst_max = rows.iter().map(|r| r.mst_ratio).fold(0.0, f64::max);
-        let st_mean = rows.iter().map(|r| r.steiner_ratio).sum::<f64>() / rows.len() as f64;
-        let st_max = rows.iter().map(|r| r.steiner_ratio).fold(0.0, f64::max);
-        let bip_mean = rows.iter().map(|r| r.bip_ratio).sum::<f64>() / rows.len() as f64;
-        let bound = if d == 2 {
-            6.0
-        } else {
-            3f64.powi(d as i32) - 1.0
-        };
-        all_good &= mst_max <= bound + 1e-9;
-        t.push_row(vec![
-            d.to_string(),
-            alpha.to_string(),
-            n.to_string(),
-            rows.len().to_string(),
-            format!("{mst_mean:.3}"),
-            format!("{mst_max:.3}"),
-            format!("{bound:.1}"),
-            format!("{st_mean:.3}"),
-            format!("{st_max:.3}"),
-            format!("{bip_mean:.3}"),
-        ]);
+        ]
     }
-    t.verdict = if all_good {
-        "every measured ratio sits far below the analytic bound — shape matches the paper".into()
-    } else {
-        "BOUND EXCEEDED — mismatch".into()
-    };
-    t
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        vec![
+            Scenario::new(LayoutFamily::UniformBox, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::UniformBox, 8, 2, 3.0),
+            Scenario::new(LayoutFamily::Clustered, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::Grid, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::Circle, 8, 2, 2.0),
+            Scenario::new(LayoutFamily::UniformBox, 7, 3, 3.0),
+        ]
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let net = scenario_network(scenario, seed);
+        let all: Vec<usize> = (1..scenario.n).collect();
+        let (opt, _) = memt_exact(&net, &all);
+        let mst = mst_broadcast(&net);
+        let (_, steiner) = steiner_multicast(&net, &all);
+        let (bip, _) = bip_broadcast(&net);
+        vec![
+            mst.total_cost() / opt,
+            steiner.total_cost() / opt,
+            bip.total_cost() / opt,
+        ]
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        let bound = mst_bound(scenario.dim);
+        let mst_max = fmax(obs, 0);
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                obs.len().to_string(),
+                format!("{:.3}", mean(obs, 0)),
+                format!("{mst_max:.3}"),
+                format!("{bound:.1}"),
+                format!("{:.3}", mean(obs, 1)),
+                format!("{:.3}", fmax(obs, 1)),
+                format!("{:.3}", mean(obs, 2)),
+            ],
+            mst_max <= bound + 1e-9,
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "every measured ratio sits below the analytic bound on every layout — shape \
+             matches the paper"
+                .into()
+        } else {
+            "BOUND EXCEEDED — mismatch".into()
+        }
+    }
 }

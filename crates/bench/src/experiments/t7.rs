@@ -1,62 +1,43 @@
 //! T7 — Theorems 3.6/3.7: the Jain–Vazirani-based Euclidean Steiner
 //! mechanism — budget-balance factor vs exact MEMT, cross-monotonicity and
-//! group strategyproofness.
+//! group strategyproofness, across the layout families.
 
-use crate::harness::{parallel_map_seeds, random_euclidean_d, random_utilities, Table};
+use crate::harness::{random_utilities, scenario_network};
+use crate::registry::{all_true, count_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{find_group_deviation, find_unilateral_deviation};
+use wmcs_geom::{LayoutFamily, Scenario};
 use wmcs_graph::{jv_steiner_shares, JvSharing};
 use wmcs_mechanisms::EuclideanSteinerMechanism;
 use wmcs_wireless::memt_exact;
 
-struct Row {
-    ratio: f64,
-    recovered: bool,
-    cross_mono_ok: bool,
-    deviation: bool,
-}
+/// The T7 experiment (registered as `"T7"`).
+pub struct T7;
 
-fn one(seed: u64, n: usize, d: usize, alpha: f64) -> Row {
-    let net = random_euclidean_d(seed, n, d, alpha, 6.0);
-    let mech = EuclideanSteinerMechanism::new(net.clone());
-    let k = net.n_players();
-    let all: Vec<usize> = (1..n).collect();
-    let (opt, _) = memt_exact(&net, &all);
-    let out = mech.run_full(&vec![1e9; k]);
-    let stations: Vec<usize> = out
-        .outcome
-        .receivers
-        .iter()
-        .map(|&p| net.station_of_player(p))
-        .collect();
-    let feasible = out.assignment.multicasts_to(&net, &stations);
-    let ratio = out.outcome.revenue() / opt;
-    let recovered = feasible && out.outcome.revenue() + 1e-9 >= out.outcome.served_cost;
-    // Cross-monotonicity spot check: adding the last terminal never raises
-    // anyone's JV share.
-    let small: Vec<usize> = (1..n - 1).collect();
-    let rs = jv_steiner_shares(net.costs(), 0, &small, JvSharing::Equal, None);
-    let rl = jv_steiner_shares(net.costs(), 0, &all, JvSharing::Equal, None);
-    let cross_mono_ok = small.iter().all(|&t| rl.share[t] <= rs.share[t] + 1e-6);
-    let u = random_utilities(seed ^ 0xc0ffee, k, 50.0);
-    let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some()
-        || (k <= 5 && find_group_deviation(&mech, &u, 2, 1e-6).is_some());
-    Row {
-        ratio,
-        recovered,
-        cross_mono_ok,
-        deviation,
+/// The paper's JV bound for dimension `d` (12 at d=2).
+fn jv_bound(d: usize) -> f64 {
+    if d == 2 {
+        12.0
+    } else {
+        2.0 * (3f64.powi(d as i32) - 1.0)
     }
 }
 
-/// Run T7.
-pub fn run(seeds_per_cell: u64) -> Table {
-    let mut t = Table::new(
-        "T7",
-        "JV Euclidean Steiner mechanism (Thms 3.6/3.7)",
-        "revenue ≤ 2(3^d − 1)·C* (12 for d=2); cross-monotonic shares; group strategyproof",
+impl Experiment for T7 {
+    fn id(&self) -> &'static str {
+        "T7"
+    }
+
+    fn title(&self) -> &'static str {
+        "JV Euclidean Steiner mechanism (Thms 3.6/3.7)"
+    }
+
+    fn claim(&self) -> &'static str {
+        "revenue ≤ 2(3^d − 1)·C* (12 for d=2); cross-monotonic shares; group strategyproof"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
         &[
-            "d",
-            "α",
+            "scenario",
             "seeds",
             "mean Σc/C*",
             "max Σc/C*",
@@ -64,40 +45,82 @@ pub fn run(seeds_per_cell: u64) -> Table {
             "recovery",
             "cross-mono",
             "deviations",
-        ],
-    );
-    let mut all_good = true;
-    for &(d, alpha, n) in &[(2usize, 2.0f64, 7usize), (2, 4.0, 7), (3, 3.0, 6)] {
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 71 + d as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, d, alpha));
-        let mean = rows.iter().map(|r| r.ratio).sum::<f64>() / rows.len() as f64;
-        let max = rows.iter().map(|r| r.ratio).fold(0.0, f64::max);
-        let bound = if d == 2 {
-            12.0
-        } else {
-            2.0 * (3f64.powi(d as i32) - 1.0)
-        };
-        let recovered = rows.iter().all(|r| r.recovered);
-        let cm = rows.iter().all(|r| r.cross_mono_ok);
-        let devs = rows.iter().filter(|r| r.deviation).count();
-        all_good &= max <= bound + 1e-6 && recovered && cm && devs == 0;
-        t.push_row(vec![
-            d.to_string(),
-            alpha.to_string(),
-            rows.len().to_string(),
-            format!("{mean:.3}"),
-            format!("{max:.3}"),
-            format!("{bound:.1}"),
-            recovered.to_string(),
-            cm.to_string(),
-            devs.to_string(),
-        ]);
+        ]
     }
-    t.verdict = if all_good {
-        "12-BB / 2(3^d−1)-BB bounds hold with large slack; cross-monotone; no profitable lies"
-            .into()
-    } else {
-        "MISMATCH".into()
-    };
-    t
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        vec![
+            Scenario::new(LayoutFamily::UniformBox, 7, 2, 2.0),
+            Scenario::new(LayoutFamily::UniformBox, 7, 2, 4.0),
+            Scenario::new(LayoutFamily::Clustered, 7, 2, 2.0),
+            Scenario::new(LayoutFamily::Grid, 7, 2, 2.0),
+            Scenario::new(LayoutFamily::Circle, 7, 2, 2.0),
+            Scenario::new(LayoutFamily::UniformBox, 6, 3, 3.0),
+        ]
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let n = scenario.n;
+        let net = scenario_network(scenario, seed);
+        let mech = EuclideanSteinerMechanism::new(net.clone());
+        let k = net.n_players();
+        let all: Vec<usize> = (1..n).collect();
+        let (opt, _) = memt_exact(&net, &all);
+        let out = mech.run_full(&vec![1e9; k]);
+        let stations: Vec<usize> = out
+            .outcome
+            .receivers
+            .iter()
+            .map(|&p| net.station_of_player(p))
+            .collect();
+        let feasible = out.assignment.multicasts_to(&net, &stations);
+        let ratio = out.outcome.revenue() / opt;
+        let recovered = feasible && out.outcome.revenue() + 1e-9 >= out.outcome.served_cost;
+        // Cross-monotonicity spot check: adding the last terminal never
+        // raises anyone's JV share.
+        let small: Vec<usize> = (1..n - 1).collect();
+        let rs = jv_steiner_shares(net.costs(), 0, &small, JvSharing::Equal, None);
+        let rl = jv_steiner_shares(net.costs(), 0, &all, JvSharing::Equal, None);
+        let cross_mono_ok = small.iter().all(|&t| rl.share[t] <= rs.share[t] + 1e-6);
+        let u = random_utilities(seed ^ 0xc0ffee, k, 50.0);
+        let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some()
+            || (k <= 5 && find_group_deviation(&mech, &u, 2, 1e-6).is_some());
+        vec![
+            ratio,
+            f64::from(recovered),
+            f64::from(cross_mono_ok),
+            f64::from(deviation),
+        ]
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        let bound = jv_bound(scenario.dim);
+        let max = fmax(obs, 0);
+        let recovered = all_true(obs, 1);
+        let cm = all_true(obs, 2);
+        let devs = count_true(obs, 3);
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                obs.len().to_string(),
+                format!("{:.3}", mean(obs, 0)),
+                format!("{max:.3}"),
+                format!("{bound:.1}"),
+                recovered.to_string(),
+                cm.to_string(),
+                devs.to_string(),
+            ],
+            max <= bound + 1e-6 && recovered && cm && devs == 0,
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "12-BB / 2(3^d−1)-BB bounds hold with large slack on every layout; cross-monotone; \
+             no profitable lies"
+                .into()
+        } else {
+            "MISMATCH".into()
+        }
+    }
 }

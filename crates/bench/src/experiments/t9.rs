@@ -2,91 +2,107 @@
 //! Eq. (5) scalar aggregation vs tight per-member residual checks in the
 //! NWST mechanism. Measures the strategyproofness-violation rate, the
 //! receiver count and the revenue of both variants on identical
-//! instance/profile pairs.
+//! instance/profile pairs across the layout families.
 
-use crate::harness::{parallel_map_seeds, random_nwst, random_utilities, Table};
+use crate::harness::{nwst_terminals_for, random_nwst_scenario, random_utilities};
+use crate::registry::{all_true, count_true, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{find_unilateral_deviation, Mechanism};
+use wmcs_geom::{LayoutFamily, Scenario};
 use wmcs_mechanisms::NwstCostSharingMechanism;
 
-struct Row {
-    dev_paper: bool,
-    dev_tight: bool,
-    served_paper: usize,
-    served_tight: usize,
-    revenue_paper: f64,
-    revenue_tight: f64,
-    recovered_both: bool,
-}
+/// The T9 experiment (registered as `"T9"`).
+pub struct T9;
 
-fn one(seed: u64, n: usize, k: usize) -> Row {
-    let (g, terminals) = random_nwst(seed, n, k);
-    let paper = NwstCostSharingMechanism::new(g.clone(), terminals.clone());
-    let tight = NwstCostSharingMechanism::new(g, terminals).with_tight_budgets();
-    let u = random_utilities(seed ^ 0xabba, k, 6.0);
-    let out_p = paper.run(&u);
-    let out_t = tight.run(&u);
-    Row {
-        dev_paper: find_unilateral_deviation(&paper, &u, 1e-6).is_some(),
-        dev_tight: find_unilateral_deviation(&tight, &u, 1e-6).is_some(),
-        served_paper: out_p.receivers.len(),
-        served_tight: out_t.receivers.len(),
-        revenue_paper: out_p.revenue(),
-        revenue_tight: out_t.revenue(),
-        recovered_both: out_p.revenue() + 1e-9 >= out_p.served_cost
-            && out_t.revenue() + 1e-9 >= out_t.served_cost,
+impl Experiment for T9 {
+    fn id(&self) -> &'static str {
+        "T9"
     }
-}
 
-/// Run T9.
-pub fn run(seeds_per_cell: u64) -> Table {
-    let mut t = Table::new(
-        "T9",
-        "extension: Eq. (5) vs tight per-member budgets (fix for finding 2)",
+    fn title(&self) -> &'static str {
+        "extension: Eq. (5) vs tight per-member budgets (fix for finding 2)"
+    }
+
+    fn claim(&self) -> &'static str {
         "extension hypothesis: tight checks reduce SP violations and serve weakly more agents \
-         (less pessimistic drops) while still recovering cost",
+         (less pessimistic drops) while still recovering cost"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
         &[
+            "scenario",
             "k",
-            "n",
             "seeds",
             "SP devs (paper)",
             "SP devs (tight)",
             "mean served p/t",
             "mean revenue p/t",
             "recovery",
-        ],
-    );
-    let mut paper_devs = 0usize;
-    let mut tight_devs = 0usize;
-    let mut all_recovered = true;
-    let mut tight_never_serves_fewer = true;
-    for &(n, k) in &[(8usize, 3usize), (10, 4), (12, 5), (14, 6)] {
-        let seeds: Vec<u64> = (0..seeds_per_cell).map(|s| s * 101 + k as u64).collect();
-        let rows = parallel_map_seeds(&seeds, |seed| one(seed, n, k));
-        let dp = rows.iter().filter(|r| r.dev_paper).count();
-        let dt = rows.iter().filter(|r| r.dev_tight).count();
-        paper_devs += dp;
-        tight_devs += dt;
-        let sp = rows.iter().map(|r| r.served_paper).sum::<usize>() as f64 / rows.len() as f64;
-        let st = rows.iter().map(|r| r.served_tight).sum::<usize>() as f64 / rows.len() as f64;
-        let rp = rows.iter().map(|r| r.revenue_paper).sum::<f64>() / rows.len() as f64;
-        let rt = rows.iter().map(|r| r.revenue_tight).sum::<f64>() / rows.len() as f64;
-        all_recovered &= rows.iter().all(|r| r.recovered_both);
-        tight_never_serves_fewer &= rows.iter().all(|r| r.served_tight >= r.served_paper);
-        t.push_row(vec![
-            k.to_string(),
-            n.to_string(),
-            rows.len().to_string(),
-            dp.to_string(),
-            dt.to_string(),
-            format!("{sp:.2}/{st:.2}"),
-            format!("{rp:.2}/{rt:.2}"),
-            all_recovered.to_string(),
-        ]);
+        ]
     }
-    t.verdict = format!(
-        "paper aggregation: {paper_devs} SP violations; tight aggregation: {tight_devs}; \
-         tight serves weakly more agents on every instance: {tight_never_serves_fewer}; \
-         cost recovered by both: {all_recovered}"
-    );
-    t
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        Scenario::matrix(
+            &[
+                LayoutFamily::UniformBox,
+                LayoutFamily::Clustered,
+                LayoutFamily::Grid,
+                LayoutFamily::Circle,
+            ],
+            &[10, 14],
+            &[2],
+            &[2.0],
+        )
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let k = nwst_terminals_for(scenario.n);
+        let (g, terminals) = random_nwst_scenario(scenario, seed, k);
+        let paper = NwstCostSharingMechanism::new(g.clone(), terminals.clone());
+        let tight = NwstCostSharingMechanism::new(g, terminals).with_tight_budgets();
+        let u = random_utilities(seed ^ 0xabba, k, 6.0);
+        let out_p = paper.run(&u);
+        let out_t = tight.run(&u);
+        let recovered_both = out_p.revenue() + 1e-9 >= out_p.served_cost
+            && out_t.revenue() + 1e-9 >= out_t.served_cost;
+        vec![
+            f64::from(find_unilateral_deviation(&paper, &u, 1e-6).is_some()),
+            f64::from(find_unilateral_deviation(&tight, &u, 1e-6).is_some()),
+            out_p.receivers.len() as f64,
+            out_t.receivers.len() as f64,
+            out_p.revenue(),
+            out_t.revenue(),
+            f64::from(recovered_both),
+        ]
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        let recovered = all_true(obs, 6);
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                nwst_terminals_for(scenario.n).to_string(),
+                obs.len().to_string(),
+                count_true(obs, 0).to_string(),
+                count_true(obs, 1).to_string(),
+                format!("{:.2}/{:.2}", mean(obs, 2), mean(obs, 3)),
+                format!("{:.2}/{:.2}", mean(obs, 4), mean(obs, 5)),
+                recovered.to_string(),
+            ],
+            // Only the mechanism invariant gates: both variants recover
+            // cost. The serve-more/deviate-less comparison is the
+            // extension's *hypothesis* and stays informational.
+            recovered,
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "both aggregations recover cost on every layout; the per-row deviation and \
+             served/revenue columns quantify the extension's serve-more/deviate-less \
+             hypothesis (informational)"
+                .into()
+        } else {
+            "MISMATCH: a variant failed cost recovery".into()
+        }
+    }
 }

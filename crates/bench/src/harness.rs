@@ -1,13 +1,30 @@
-//! Shared harness: table rendering, random-instance builders and a
-//! crossbeam-based parallel seed sweep (coarse-grained data parallelism —
-//! one independent instance per task — per the hpc-parallel guide).
+//! Shared harness: table rendering with an explicit output mode, and the
+//! random-instance builders the experiments and criterion benches share.
+//!
+//! Parallelism lives in [`crate::engine`]: the sweep engine schedules flat
+//! `(experiment × scenario × seed)` cells over a self-scheduling worker
+//! pool instead of chunking seeds per experiment.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use wmcs_geom::{Point, PowerModel};
+use wmcs_geom::{LayoutFamily, Point, PowerModel, Scenario};
 use wmcs_nwst::NodeWeightedGraph;
 use wmcs_wireless::WirelessNetwork;
+
+/// How a [`Table`] is written to stdout.
+///
+/// Threaded explicitly from each binary's argument parser — the harness
+/// never sniffs `std::env::args()`, so an unrelated flag on some binary
+/// can never flip the output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// Human-readable aligned columns (the default).
+    #[default]
+    Text,
+    /// The table as a pretty-printed JSON object.
+    Json,
+}
 
 /// A printable experiment table.
 #[derive(Debug, Clone, Serialize)]
@@ -50,13 +67,11 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Emit to stdout: JSON when `--json` was passed on the command line,
-    /// the aligned-column rendering otherwise.
-    pub fn emit(&self) {
-        if std::env::args().any(|a| a == "--json") {
-            println!("{}", self.to_json());
-        } else {
-            self.print();
+    /// Emit to stdout in the given mode.
+    pub fn emit(&self, mode: OutputMode) {
+        match mode {
+            OutputMode::Text => self.print(),
+            OutputMode::Json => println!("{}", self.to_json()),
         }
     }
 
@@ -68,64 +83,111 @@ impl Table {
 
     /// Render to stdout in aligned columns.
     pub fn print(&self) {
-        println!("== {}: {} ==", self.id, self.title);
-        println!("paper claim: {}", self.claim);
+        print!("{}", self.render());
+    }
+
+    /// The aligned-column rendering as a string (what [`Table::print`]
+    /// writes; also what the determinism tests compare byte-for-byte).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "== {}: {} ==", self.id, self.title).unwrap();
+        writeln!(out, "paper claim: {}", self.claim).unwrap();
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
             }
         }
-        let render = |cells: &[String]| {
+        let render_row = |cells: &[String]| {
             let mut line = String::from("| ");
             for (w, cell) in widths.iter().zip(cells) {
                 line.push_str(&format!("{cell:>w$} | ", w = w));
             }
             line
         };
-        println!("{}", render(&self.columns));
-        println!(
+        writeln!(out, "{}", render_row(&self.columns)).unwrap();
+        writeln!(
+            out,
             "|{}|",
             widths
                 .iter()
                 .map(|w| "-".repeat(w + 2))
                 .collect::<Vec<_>>()
                 .join("|")
-        );
+        )
+        .unwrap();
         for row in &self.rows {
-            println!("{}", render(row));
+            writeln!(out, "{}", render_row(row)).unwrap();
         }
-        println!("verdict: {}\n", self.verdict);
+        writeln!(out, "verdict: {}\n", self.verdict).unwrap();
+        out
     }
 }
 
-/// Map a function over seeds in parallel with crossbeam scoped threads.
-/// Results come back in seed order.
-pub fn parallel_map_seeds<R: Send>(seeds: &[u64], f: impl Fn(u64) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(seeds.len().max(1));
-    if threads <= 1 || seeds.len() <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
+/// Wireless network for a scenario draw: stations from the scenario's
+/// generator, costs `dist^α`.
+///
+/// For the [`LayoutFamily::Line`] family the stations come from
+/// [`wmcs_geom::gen::line_instance`] — sorted along the segment with the
+/// middle station as source (the `d = 1` setting of Lemma 3.1); every
+/// other family keeps station 0 as the source.
+pub fn scenario_network(sc: &Scenario, seed: u64) -> WirelessNetwork {
+    let (pts, source) = if sc.family == LayoutFamily::Line {
+        wmcs_geom::gen::line_instance(sc.n, 2.0 * wmcs_geom::SCENARIO_SIDE, seed)
+    } else {
+        (sc.points(seed), 0)
+    };
+    WirelessNetwork::euclidean(pts, sc.power_model(), source)
+}
+
+/// Terminals per node-weighted instance at station count `n`: the seed
+/// tables' `k ≈ n/2 − 1` density. Shared by T2 and its T9 ablation so
+/// the two always sweep the same instance class.
+pub fn nwst_terminals_for(n: usize) -> usize {
+    (n / 2).saturating_sub(1).max(2)
+}
+
+/// Node-weighted Steiner instance induced by a scenario draw: the graph
+/// structure follows the spatial layout, so clustered/grid/circle station
+/// sets genuinely change the connectivity regime.
+///
+/// Stations come from the scenario generator; edges are a chain in
+/// first-coordinate order (guaranteeing connectivity) plus each station's
+/// two nearest neighbours; `k` zero-weight terminals are spread evenly
+/// over the station indices and every other node gets a random weight in
+/// `[0.2, 5)`. Degenerate draws where the terminals connect for free are
+/// possible (e.g. two terminals in one tight cluster) — callers that
+/// normalise by the optimum skip instances whose exact cost is ~0.
+pub fn random_nwst_scenario(sc: &Scenario, seed: u64, k: usize) -> (NodeWeightedGraph, Vec<usize>) {
+    let n = sc.n;
+    assert!(k >= 1 && k <= n);
+    let pts = sc.points(seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0115_7a9c_e5ee_d000);
+    let terminals: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|v| {
+            if terminals.contains(&v) {
+                0.0
+            } else {
+                rng.gen_range(0.2..5.0)
+            }
+        })
+        .collect();
+    let mut g = NodeWeightedGraph::new(weights);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| pts[a].coord(0).total_cmp(&pts[b].coord(0)));
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1]);
     }
-    let mut out: Vec<Option<R>> = Vec::with_capacity(seeds.len());
-    out.resize_with(seeds.len(), || None);
-    let chunk = seeds.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
-                    *slot = Some(f(seed));
-                }
-            });
+    for v in 0..n {
+        let mut near: Vec<usize> = (0..n).filter(|&u| u != v).collect();
+        near.sort_by(|&a, &b| pts[v].dist_sq(&pts[a]).total_cmp(&pts[v].dist_sq(&pts[b])));
+        for &u in near.iter().take(2) {
+            g.add_edge(v, u);
         }
-    })
-    .expect("worker panicked");
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    }
+    (g, terminals)
 }
 
 /// Random 2-D Euclidean network, source 0.
@@ -158,7 +220,8 @@ pub fn random_line(seed: u64, n: usize, alpha: f64, length: f64) -> WirelessNetw
 
 /// Random node-weighted graph: ring + chords, `k` zero-weight terminals
 /// spread evenly around the ring (adjacent zero-weight terminals would
-/// make the optimum trivially 0).
+/// make the optimum trivially 0). Kept for the criterion benches; the
+/// experiment tables use the layout-aware [`random_nwst_scenario`].
 pub fn random_nwst(seed: u64, n: usize, k: usize) -> (NodeWeightedGraph, Vec<usize>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let terminals: Vec<usize> = (0..k).map(|i| i * n / k).collect();

@@ -2,20 +2,34 @@
 //!
 //! Regenerates every figure and theorem-backed claim of the paper
 //! (per-experiment index in `DESIGN.md` §4, results recorded in
-//! `EXPERIMENTS.md`):
+//! `EXPERIMENTS.md`) through a registry-driven sweep engine:
 //!
-//! * table binaries: `fig1_collusion`, `fig2_empty_core`,
+//! * [`registry`] — one [`registry::Experiment`] per figure/table,
+//!   resolved by id ([`registry::REGISTRY`]);
+//! * [`engine`] — the work-stealing parallel executor over flat
+//!   `(experiment × scenario × seed)` cells;
+//! * [`compare`] — the versioned sweep-summary JSON schema and the
+//!   baseline diff behind the `bench_compare` CI gate;
+//! * table binaries: `fig1_collusion` (F1), `fig2_empty_core` (F2),
 //!   `table_universal_tree` (T1), `table_nwst_bb` (T2),
 //!   `table_wireless_bb` (T3), `table_euclidean_optimal` (T4),
 //!   `table_submodularity_violations` (T5), `table_mst_ratio` (T6),
-//!   `table_jv_bb` (T7), and `all_experiments` to run the lot;
+//!   `table_jv_bb` (T7), `table_eq5_ablation` (T9) — each a thin
+//!   [`cli::table_main`] shim — plus `all_experiments` to sweep the whole
+//!   registry and `bench_compare` to diff two summary files;
 //! * criterion benches (`cargo bench`): timing/scaling of every
 //!   mechanism and substrate (T8).
 
+pub mod cli;
+pub mod compare;
+pub mod engine;
 pub mod experiments;
 pub mod harness;
+pub mod registry;
 
+pub use engine::{run_sweep, SweepConfig, SweepRun};
 pub use harness::{
-    parallel_map_seeds, random_euclidean, random_euclidean_d, random_line, random_nwst,
-    random_utilities, Table,
+    random_euclidean, random_euclidean_d, random_line, random_nwst, random_utilities, OutputMode,
+    Table,
 };
+pub use registry::{Experiment, REGISTRY};

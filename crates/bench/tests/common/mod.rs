@@ -1,0 +1,60 @@
+//! Shared fixture for the engine/compare integration tests: a cheap,
+//! fully deterministic experiment that still exercises the scenario
+//! generators, so sweeps finish in milliseconds even in debug builds.
+
+use wmcs_bench::registry::{fmax, mean, Experiment, Obs, RowSummary};
+use wmcs_geom::{LayoutFamily, Scenario};
+
+/// A synthetic registered-shaped experiment (id `"SYN"`).
+pub struct Synthetic;
+
+impl Experiment for Synthetic {
+    fn id(&self) -> &'static str {
+        "SYN"
+    }
+
+    fn title(&self) -> &'static str {
+        "synthetic engine fixture"
+    }
+
+    fn claim(&self) -> &'static str {
+        "coordinate sums are finite and deterministic per (scenario, seed)"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["scenario", "seeds", "mean Σcoord", "max Σcoord"]
+    }
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        Scenario::matrix(&LayoutFamily::ALL, &[6, 9], &[2], &[2.0])
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let total: f64 = scenario
+            .points(seed)
+            .iter()
+            .map(|p| (0..scenario.dim).map(|i| p.coord(i)).sum::<f64>())
+            .sum();
+        vec![total]
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                obs.len().to_string(),
+                format!("{:.6}", mean(obs, 0)),
+                format!("{:.6}", fmax(obs, 0)),
+            ],
+            obs.iter().all(|o| o[0].is_finite()),
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "synthetic sweep deterministic".into()
+        } else {
+            "MISMATCH".into()
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The CI regression gate end to end: sweep → summary JSON →
+//! `bench_compare`, including the required nonzero exit on an injected
+//! verdict mismatch.
+
+mod common;
+
+use common::Synthetic;
+use std::process::Command;
+use wmcs_bench::compare::{compare_summaries, summary_json};
+use wmcs_bench::engine::{run_sweep, SweepConfig};
+
+fn synthetic_summary(seeds: u64) -> String {
+    summary_json(&run_sweep(&[&Synthetic], &SweepConfig::with_seeds(seeds)))
+}
+
+#[test]
+fn real_summaries_roundtrip_through_the_comparator() {
+    // Different seed counts on the two sides, like CI (3) vs the
+    // committed baseline (20): verdicts still compare clean.
+    let baseline = synthetic_summary(4);
+    let candidate = synthetic_summary(2);
+    let cmp = compare_summaries(&baseline, &candidate, None).unwrap();
+    assert!(cmp.ok(), "unexpected drift: {:?}", cmp.drifts);
+    assert!(cmp.timing_report.contains("SYN"));
+}
+
+#[test]
+fn injected_verdict_mismatch_is_drift() {
+    let baseline = synthetic_summary(2);
+    let candidate = baseline.replace("synthetic sweep deterministic", "MISMATCH");
+    assert_ne!(baseline, candidate, "injection failed to change the file");
+    let cmp = compare_summaries(&baseline, &candidate, None).unwrap();
+    assert!(!cmp.ok());
+    assert!(cmp.drifts.iter().any(|d| d.contains("verdict drifted")));
+}
+
+/// Run the actual `bench_compare` binary on two summary files. File
+/// names carry a process-wide counter besides the pid: the #[test]s
+/// calling this run as parallel threads of one process, so pid alone
+/// would race them onto the same paths.
+fn run_gate(baseline: &str, candidate: &str) -> std::process::ExitStatus {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static CALL: AtomicUsize = AtomicUsize::new(0);
+    let call = CALL.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let b = dir.join(format!("wmcs_gate_base_{pid}_{call}.json"));
+    let c = dir.join(format!("wmcs_gate_cand_{pid}_{call}.json"));
+    std::fs::write(&b, baseline).unwrap();
+    std::fs::write(&c, candidate).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg(&b)
+        .arg(&c)
+        .status()
+        .expect("bench_compare runs");
+    let _ = std::fs::remove_file(&b);
+    let _ = std::fs::remove_file(&c);
+    status
+}
+
+#[test]
+fn bench_compare_binary_gates_verdict_drift() {
+    let baseline = synthetic_summary(2);
+
+    // Matching files: exit 0.
+    let ok = run_gate(&baseline, &baseline);
+    assert!(ok.success(), "identical summaries must pass the gate");
+
+    // Injected verdict mismatch: exit nonzero (the acceptance criterion).
+    let drifted = baseline.replace("synthetic sweep deterministic", "MISMATCH");
+    let bad = run_gate(&baseline, &drifted);
+    assert_eq!(bad.code(), Some(1), "verdict drift must exit 1");
+}
+
+#[test]
+fn bench_compare_binary_rejects_bad_input() {
+    // Unparseable candidate: exit 2.
+    let status = run_gate(&synthetic_summary(2), "not json at all");
+    assert_eq!(status.code(), Some(2));
+
+    // Bad usage: exit 2.
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg("only-one-arg.json")
+        .status()
+        .expect("bench_compare runs");
+    assert_eq!(status.code(), Some(2));
+}

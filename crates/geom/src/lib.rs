@@ -20,11 +20,13 @@ pub mod float;
 pub mod gen;
 pub mod point;
 pub mod power;
+pub mod scenario;
 
 pub use float::{approx_eq, approx_ge, approx_le, approx_lt, total_cmp_slice, Eps, EPS};
 pub use gen::{InstanceConfig, InstanceKind};
 pub use point::Point;
 pub use power::PowerModel;
+pub use scenario::{LayoutFamily, Scenario, SCENARIO_SIDE};
 
 #[cfg(test)]
 mod integration_tests {

@@ -1,0 +1,243 @@
+//! Scenario matrix: named layout families crossed with `(n, d, α)` grids.
+//!
+//! Every experiment table in `wmcs-bench` sweeps a list of [`Scenario`]s
+//! instead of a hand-rolled loop over one layout. A scenario pins the
+//! *spatial regime* (one of the [`InstanceKind`] families, with canonical
+//! parameters derived from `n`), the station count, the ambient dimension
+//! and the distance–power gradient `α`; crossing it with a seed yields a
+//! fully reproducible [`InstanceConfig`].
+
+use crate::gen::{InstanceConfig, InstanceKind};
+use crate::point::Point;
+use crate::power::PowerModel;
+use serde::Serialize;
+
+/// Canonical box side used by every scenario layout (the paper's tables
+/// are scale-free: mechanisms compare ratios, not absolute powers).
+pub const SCENARIO_SIDE: f64 = 10.0;
+
+/// The spatial layout families of [`InstanceKind`], without their
+/// numeric parameters — scenarios derive those canonically from `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum LayoutFamily {
+    /// Uniform in `[0, side]^d`.
+    UniformBox,
+    /// Uniform on a segment (`d = 1`).
+    Line,
+    /// Uniform-ball clusters around random centres.
+    Clustered,
+    /// Jittered integer grid (`d = 2`).
+    Grid,
+    /// Uniform on a circle (`d = 2`).
+    Circle,
+}
+
+impl LayoutFamily {
+    /// Every family, in registry order.
+    pub const ALL: [LayoutFamily; 5] = [
+        LayoutFamily::UniformBox,
+        LayoutFamily::Line,
+        LayoutFamily::Clustered,
+        LayoutFamily::Grid,
+        LayoutFamily::Circle,
+    ];
+
+    /// Short lowercase name used in table rows and scenario labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutFamily::UniformBox => "uniform",
+            LayoutFamily::Line => "line",
+            LayoutFamily::Clustered => "clustered",
+            LayoutFamily::Grid => "grid",
+            LayoutFamily::Circle => "circle",
+        }
+    }
+}
+
+/// One cell of the sweep matrix: a layout family at a given size,
+/// dimension and attenuation exponent.
+///
+/// Dimensions are normalised at construction: `Line` forces `d = 1`,
+/// `Grid` and `Circle` force `d = 2` (matching the generators in
+/// [`crate::gen`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Spatial layout family.
+    pub family: LayoutFamily,
+    /// Number of stations (including the source).
+    pub n: usize,
+    /// Ambient dimension.
+    pub dim: usize,
+    /// Distance–power gradient `α ≥ 1`.
+    pub alpha: f64,
+}
+
+impl Scenario {
+    /// New scenario with the family's dimension constraint applied.
+    pub fn new(family: LayoutFamily, n: usize, dim: usize, alpha: f64) -> Self {
+        let dim = match family {
+            LayoutFamily::Line => 1,
+            LayoutFamily::Grid | LayoutFamily::Circle => 2,
+            LayoutFamily::UniformBox | LayoutFamily::Clustered => dim.max(1),
+        };
+        assert!(n >= 2, "a scenario needs a source and at least one player");
+        assert!(alpha >= 1.0, "the paper's model requires α ≥ 1");
+        Self {
+            family,
+            n,
+            dim,
+            alpha,
+        }
+    }
+
+    /// Full cartesian product `families × ns × dims × alphas` (each
+    /// normalised via [`Scenario::new`], so e.g. `Line × d=3` collapses
+    /// to `d = 1`). Duplicates after normalisation are dropped.
+    pub fn matrix(
+        families: &[LayoutFamily],
+        ns: &[usize],
+        dims: &[usize],
+        alphas: &[f64],
+    ) -> Vec<Scenario> {
+        let mut out: Vec<Scenario> = Vec::new();
+        for &family in families {
+            for &n in ns {
+                for &dim in dims {
+                    for &alpha in alphas {
+                        let sc = Scenario::new(family, n, dim, alpha);
+                        if !out.contains(&sc) {
+                            out.push(sc);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable human/machine label, e.g. `"clustered n=8 d=2 α=2"`. Used
+    /// as the row key in tables and as part of the per-cell seed
+    /// derivation, so changing it re-seeds the sweep.
+    pub fn label(&self) -> String {
+        format!(
+            "{} n={} d={} α={}",
+            self.family.name(),
+            self.n,
+            self.dim,
+            self.alpha
+        )
+    }
+
+    /// The canonical [`InstanceKind`] for this scenario's family, with
+    /// parameters derived from `n` so density stays comparable across
+    /// layouts: everything lives in (a subset of) `[0, 10]^d`.
+    pub fn kind(&self) -> InstanceKind {
+        match self.family {
+            LayoutFamily::UniformBox => InstanceKind::UniformBox {
+                side: SCENARIO_SIDE,
+            },
+            LayoutFamily::Line => InstanceKind::Line {
+                length: 2.0 * SCENARIO_SIDE,
+            },
+            LayoutFamily::Clustered => InstanceKind::Clustered {
+                clusters: (self.n / 4).max(2),
+                spread: SCENARIO_SIDE / 8.0,
+                side: SCENARIO_SIDE,
+            },
+            LayoutFamily::Grid => InstanceKind::Grid {
+                spacing: SCENARIO_SIDE / (self.n as f64).sqrt(),
+            },
+            LayoutFamily::Circle => InstanceKind::Circle {
+                radius: SCENARIO_SIDE / 2.0,
+            },
+        }
+    }
+
+    /// The reproducible instance this scenario denotes at `seed`.
+    pub fn instance(&self, seed: u64) -> InstanceConfig {
+        InstanceConfig {
+            n: self.n,
+            dim: self.dim,
+            kind: self.kind(),
+            seed,
+        }
+    }
+
+    /// Generate the station coordinates at `seed`.
+    pub fn points(&self, seed: u64) -> Vec<Point> {
+        self.instance(seed).generate()
+    }
+
+    /// The power model `c = dist^α` of this scenario.
+    pub fn power_model(&self) -> PowerModel {
+        PowerModel::with_alpha(self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_constraints_are_normalised() {
+        assert_eq!(Scenario::new(LayoutFamily::Line, 5, 3, 2.0).dim, 1);
+        assert_eq!(Scenario::new(LayoutFamily::Grid, 5, 3, 2.0).dim, 2);
+        assert_eq!(Scenario::new(LayoutFamily::Circle, 5, 1, 2.0).dim, 2);
+        assert_eq!(Scenario::new(LayoutFamily::UniformBox, 5, 3, 2.0).dim, 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed_for_every_family() {
+        for family in LayoutFamily::ALL {
+            let sc = Scenario::new(family, 12, 2, 2.0);
+            for seed in [0u64, 1, 7, 0xdead_beef] {
+                assert_eq!(sc.points(seed), sc.points(seed), "{}", sc.label());
+            }
+            // Distinct seeds move at least one coordinate.
+            assert_ne!(sc.points(1), sc.points(2), "{}", sc.label());
+        }
+    }
+
+    #[test]
+    fn clustered_grid_circle_respect_their_geometry() {
+        let cl = Scenario::new(LayoutFamily::Clustered, 20, 2, 2.0);
+        assert_eq!(cl.points(3).len(), 20);
+
+        let gr = Scenario::new(LayoutFamily::Grid, 9, 2, 2.0);
+        let spacing = SCENARIO_SIDE / 3.0;
+        for (i, p) in gr.points(4).iter().enumerate() {
+            // Jitter is ±5% of the spacing around the lattice site.
+            let (gx, gy) = ((i % 3) as f64 * spacing, (i / 3) as f64 * spacing);
+            assert!((p.coord(0) - gx).abs() <= 0.05 * spacing + 1e-12);
+            assert!((p.coord(1) - gy).abs() <= 0.05 * spacing + 1e-12);
+        }
+
+        let ci = Scenario::new(LayoutFamily::Circle, 15, 2, 2.0);
+        let o = Point::xy(0.0, 0.0);
+        for p in ci.points(5) {
+            assert!((p.dist(&o) - SCENARIO_SIDE / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_crosses_and_dedups_after_normalisation() {
+        let m = Scenario::matrix(
+            &[LayoutFamily::UniformBox, LayoutFamily::Line],
+            &[6, 8],
+            &[2, 3],
+            &[2.0],
+        );
+        // UniformBox: 2 ns × 2 dims = 4; Line collapses d∈{2,3} to d=1 → 2.
+        assert_eq!(m.len(), 6);
+        let labels: Vec<String> = m.iter().map(Scenario::label).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let sc = Scenario::new(LayoutFamily::Clustered, 8, 2, 2.0);
+        assert_eq!(sc.label(), "clustered n=8 d=2 α=2");
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the scenario plumbing: the Clustered/Grid/Circle
+//! generators (the families the sweep matrix newly exercises) must be
+//! deterministic per seed, size-exact, and respect their geometry for
+//! arbitrary `(n, seed)` draws.
+
+use proptest::prelude::*;
+use wmcs_geom::{LayoutFamily, Point, Scenario, SCENARIO_SIDE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_family_is_deterministic_per_seed(seed in 0u64..1_000_000_000, n in 4usize..24) {
+        for family in LayoutFamily::ALL {
+            let sc = Scenario::new(family, n, 2, 2.0);
+            let a = sc.points(seed);
+            prop_assert_eq!(&a, &sc.points(seed), "{} replays", sc.label());
+            prop_assert_eq!(a.len(), n, "{} size", sc.label());
+            // The instance handle denotes the same draw.
+            prop_assert_eq!(&a, &sc.instance(seed).generate(), "{} via config", sc.label());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_clouds(seed in 0u64..1_000_000_000, n in 4usize..24) {
+        for family in LayoutFamily::ALL {
+            let sc = Scenario::new(family, n, 2, 2.0);
+            prop_assert_ne!(sc.points(seed), sc.points(seed ^ 1), "{}", sc.label());
+        }
+    }
+
+    #[test]
+    fn clustered_points_stay_in_reach_of_the_box(seed in 0u64..1_000_000_000, n in 4usize..24) {
+        let sc = Scenario::new(LayoutFamily::Clustered, n, 2, 2.0);
+        // Centres live in [0, side]^2 and points within `spread` of one.
+        let slack = SCENARIO_SIDE / 8.0 + 1e-9;
+        for p in sc.points(seed) {
+            for i in 0..2 {
+                prop_assert!(p.coord(i) >= -slack && p.coord(i) <= SCENARIO_SIDE + slack);
+            }
+        }
+    }
+
+    #[test]
+    fn circle_points_sit_on_the_circle(seed in 0u64..1_000_000_000, n in 4usize..24) {
+        let sc = Scenario::new(LayoutFamily::Circle, n, 2, 2.0);
+        let centre = Point::xy(0.0, 0.0);
+        for p in sc.points(seed) {
+            prop_assert!((p.dist(&centre) - SCENARIO_SIDE / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_points_jitter_around_their_lattice_sites(seed in 0u64..1_000_000_000, n in 4usize..24) {
+        let sc = Scenario::new(LayoutFamily::Grid, n, 2, 2.0);
+        let pts = sc.points(seed);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let spacing = SCENARIO_SIDE / (n as f64).sqrt();
+        for (i, p) in pts.iter().enumerate() {
+            let site = ((i % cols) as f64 * spacing, (i / cols) as f64 * spacing);
+            prop_assert!((p.coord(0) - site.0).abs() <= 0.05 * spacing + 1e-12);
+            prop_assert!((p.coord(1) - site.1).abs() <= 0.05 * spacing + 1e-12);
+        }
+    }
+}

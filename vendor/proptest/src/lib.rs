@@ -171,7 +171,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a half-open
+    /// Length specification for [`vec`](fn@vec): a fixed `usize` or a half-open
     /// `Range<usize>`, mirroring proptest's `Into<SizeRange>` inputs.
     pub trait IntoSizeRange {
         /// Half-open `[min, max)` length bounds.
