@@ -1,0 +1,6 @@
+//! Regenerate experiment T10 (see EXPERIMENTS.md) over its full scenario
+//! matrix — the n ≤ 4096 scaling table of the incremental Moulin–Shenker
+//! engine. Usage: `table_scaling [SEEDS] [--json]`.
+fn main() {
+    wmcs_bench::cli::table_main("T10");
+}

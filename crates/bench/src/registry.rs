@@ -88,6 +88,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiments::t6::T6,
     &crate::experiments::t7::T7,
     &crate::experiments::t9::T9,
+    &crate::experiments::t10::T10,
 ];
 
 /// Resolve an experiment by id (case-insensitive).

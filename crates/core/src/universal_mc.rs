@@ -2,12 +2,15 @@
 //! and strategyproof (not group strategyproof).
 //!
 //! Receiver selection maximises net worth via the `O(n)` bottom-up tree DP
-//! (`UniversalTree::largest_efficient_set`); payments are the VCG
-//! externalities `c_i = u_i − (NW(u) − NW(u_{-i}))`, equal under
-//! submodularity to the paper's form (3).
+//! ([`wmcs_wireless::incremental::NetWorthOracle`], the index-set engine
+//! shared with the Shapley drop loop — no 64-player cap); payments are
+//! the VCG externalities `c_i = u_i − (NW(u) − NW(u_{-i}))`, equal under
+//! submodularity to the paper's form (3). The oracle answers each
+//! `NW(u_{-i})` query in `O(depth)` from one base DP, so a full run is
+//! `O(n + Σ depth)` instead of one `O(n)` DP per receiver.
 
 use wmcs_game::{Mechanism, MechanismOutcome};
-use wmcs_wireless::UniversalTree;
+use wmcs_wireless::{NetWorthOracle, UniversalTree};
 
 /// The MC mechanism over a universal broadcast tree.
 #[derive(Debug, Clone)]
@@ -51,16 +54,15 @@ impl Mechanism for UniversalMcMechanism {
         let n = self.n_players();
         assert_eq!(reported.len(), n);
         let u = self.utilities_by_station(reported);
-        let (stations, nw) = self.tree.largest_efficient_set(&u);
+        let oracle = NetWorthOracle::new(&self.tree, &u);
+        let (stations, nw) = oracle.efficient_set();
         let mut shares = vec![0.0; n];
         let receivers: Vec<usize> = stations
             .iter()
             .filter_map(|&x| net.player_of_station(x))
             .collect();
         for &p in &receivers {
-            let mut u_minus = u.clone();
-            u_minus[net.station_of_player(p)] = 0.0;
-            let nw_minus = self.tree.net_worth(&u_minus);
+            let nw_minus = oracle.net_worth_zeroing(net.station_of_player(p));
             shares[p] = (reported[p] - (nw - nw_minus)).max(0.0);
         }
         let served_cost = self.tree.multicast_cost(&stations);

@@ -4,13 +4,16 @@
 //! Lemma 2.1 makes the universal-tree cost function non-decreasing and
 //! submodular; the Shapley value is then a cross-monotonic method, and the
 //! Moulin–Shenker mechanism `M(Shapley)` is BB, group strategyproof and
-//! meets NPT, VP, CS \[37, 38\]. The shares come from the paper's efficient
-//! per-increment split (`UniversalTree::shapley_shares`), so each drop
-//! round costs `O(n²)` instead of `O(2^n)`.
+//! meets NPT, VP, CS \[37, 38\]. The run delegates to the incremental
+//! engine ([`wmcs_wireless::incremental`]) through the shared index-set
+//! drop-loop driver (`wmcs_game::run_drop_loop`): subtree receiver
+//! counts and active-children lists are maintained across rounds, so a
+//! full run costs `O(rounds · n + total dropped path length)` instead of
+//! the naive `O(n³)` — there is no 64-player cap, and n ≈ 4096 instances
+//! run routinely (experiment T10).
 
 use wmcs_game::{Mechanism, MechanismOutcome};
-use wmcs_geom::EPS;
-use wmcs_wireless::{PowerAssignment, UniversalTree};
+use wmcs_wireless::{incremental, PowerAssignment, UniversalTree};
 
 /// `M(Shapley)` over a universal broadcast tree.
 #[derive(Debug, Clone)]
@@ -46,41 +49,7 @@ impl Mechanism for UniversalShapleyMechanism {
     }
 
     fn run(&self, reported: &[f64]) -> MechanismOutcome {
-        let net = self.tree.network();
-        let n = self.n_players();
-        assert_eq!(reported.len(), n);
-        // Moulin–Shenker iterative drop, directly on station sets.
-        let mut in_set: Vec<bool> = vec![true; n];
-        loop {
-            let stations: Vec<usize> = (0..n)
-                .filter(|&p| in_set[p])
-                .map(|p| net.station_of_player(p))
-                .collect();
-            let shares_by_station = self.tree.shapley_shares(&stations);
-            let mut dropped_any = false;
-            for p in 0..n {
-                if in_set[p] {
-                    let share = shares_by_station[net.station_of_player(p)];
-                    if reported[p] < share - EPS {
-                        in_set[p] = false;
-                        dropped_any = true;
-                    }
-                }
-            }
-            if !dropped_any {
-                let receivers: Vec<usize> = (0..n).filter(|&p| in_set[p]).collect();
-                let mut shares = vec![0.0; n];
-                for &p in &receivers {
-                    shares[p] = shares_by_station[net.station_of_player(p)];
-                }
-                let served_cost = self.tree.multicast_cost(&stations);
-                return MechanismOutcome {
-                    receivers,
-                    shares,
-                    served_cost,
-                };
-            }
-        }
+        incremental::shapley_drop_run(&self.tree, reported)
     }
 }
 

@@ -1,0 +1,218 @@
+//! The shared Moulin–Shenker drop-loop driver over *index sets*.
+//!
+//! Every Moulin–Shenker-style mechanism in the workspace runs the same
+//! iteration: compute the active players' shares, drop everyone who
+//! cannot afford theirs, repeat until a fixpoint, charge the fixpoint
+//! shares. Before this module existed the loop was open-coded twice —
+//! mask-based in [`crate::moulin::moulin_shenker`] (capped at 64
+//! players) and station-set-based in the universal-tree Shapley
+//! mechanism — with one EPS convention each; divergence there is a
+//! strategyproofness bug waiting to happen, so both now route through
+//! [`run_drop_loop`].
+//!
+//! The driver works on plain index sets, so it has **no 64-player cap**:
+//! a [`DropLoopMethod`] carries its own representation of the active
+//! coalition (a `u64` mask, an incremental tree engine, …) and is told
+//! exactly which players drop, which lets incremental implementations
+//! update in `O(affected path)` instead of recomputing from scratch.
+
+use crate::mechanism::MechanismOutcome;
+use wmcs_geom::EPS;
+
+/// A round-based cost-sharing method driven by [`run_drop_loop`].
+///
+/// The driver owns the set of active players; the method mirrors it via
+/// [`DropLoopMethod::drop_player`] notifications (players only ever
+/// leave, never re-enter — the Moulin–Shenker invariant).
+pub trait DropLoopMethod {
+    /// Number of players.
+    fn n_players(&self) -> usize;
+
+    /// Shares of the currently-active coalition: full-length vector,
+    /// zero outside the coalition. Called once per round.
+    fn round_shares(&mut self) -> Vec<f64>;
+
+    /// Remove player `p` from the active coalition. Called once per
+    /// dropped player, immediately after the round that dropped it.
+    fn drop_player(&mut self, p: usize);
+
+    /// Cost of the solution built for the currently-active coalition.
+    /// Called once, after the fixpoint round.
+    fn served_cost(&mut self) -> f64;
+
+    /// The shares actually charged to the surviving coalition. Defaults
+    /// to the fixpoint round's shares (exact for methods whose
+    /// `round_shares` is already the canonical computation); methods
+    /// whose per-round shares come from a faster equivalent computation
+    /// override this with one exact final evaluation.
+    fn final_shares(&mut self, fixpoint_shares: Vec<f64>) -> Vec<f64> {
+        fixpoint_shares
+    }
+}
+
+/// Run the Moulin–Shenker iteration `M(ξ)` \[37, 38\] over a
+/// [`DropLoopMethod`]:
+///
+/// 1. start from all players active;
+/// 2. each round, drop every player `i` with `u_i < ξ(R, i) − EPS`;
+/// 3. at the fixpoint, charge `ξ(R(u), i)` and serve `R(u)`.
+///
+/// If ξ is cross-monotonic the final set is the unique maximal
+/// affordable coalition regardless of drop order, and `M(ξ)` is group
+/// strategyproof with NPT, VP, CS and (β-approximate) budget balance
+/// \[29, 37, 38\].
+pub fn run_drop_loop(method: &mut impl DropLoopMethod, reported: &[f64]) -> MechanismOutcome {
+    let n = method.n_players();
+    assert_eq!(reported.len(), n, "one reported utility per player");
+    let mut active = vec![true; n];
+    let mut n_active = n;
+    loop {
+        if n_active == 0 {
+            return MechanismOutcome::empty(n);
+        }
+        let shares = method.round_shares();
+        let mut dropped_any = false;
+        for p in 0..n {
+            if active[p] && reported[p] < shares[p] - EPS {
+                active[p] = false;
+                n_active -= 1;
+                method.drop_player(p);
+                dropped_any = true;
+            }
+        }
+        if !dropped_any {
+            let receivers: Vec<usize> = (0..n).filter(|&p| active[p]).collect();
+            let fin = method.final_shares(shares);
+            let mut final_shares = vec![0.0; n];
+            for &p in &receivers {
+                final_shares[p] = fin[p];
+            }
+            let served_cost = method.served_cost();
+            return MechanismOutcome {
+                receivers,
+                shares: final_shares,
+                served_cost,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An airport game over arbitrarily many players: serving coalition
+    /// `R` costs `max_{i∈R} need_i`, shared by the textbook airport
+    /// (sequential-increment) rule — cross-monotonic, so the drop loop's
+    /// fixpoint is the maximal affordable set.
+    struct Airport {
+        needs: Vec<f64>,
+        active: Vec<bool>,
+    }
+
+    impl Airport {
+        fn new(needs: Vec<f64>) -> Self {
+            let active = vec![true; needs.len()];
+            Self { needs, active }
+        }
+    }
+
+    impl DropLoopMethod for Airport {
+        fn n_players(&self) -> usize {
+            self.needs.len()
+        }
+
+        fn round_shares(&mut self) -> Vec<f64> {
+            // Airport rule: sort active players by need; the increment
+            // between consecutive needs is split among everyone at least
+            // as demanding.
+            let mut order: Vec<usize> = (0..self.needs.len()).filter(|&p| self.active[p]).collect();
+            order.sort_by(|&a, &b| self.needs[a].total_cmp(&self.needs[b]).then(a.cmp(&b)));
+            let mut shares = vec![0.0; self.needs.len()];
+            let mut prev = 0.0;
+            for (rank, &p) in order.iter().enumerate() {
+                let delta = self.needs[p] - prev;
+                prev = self.needs[p];
+                let users = (order.len() - rank) as f64;
+                let slice = delta / users;
+                for &q in &order[rank..] {
+                    shares[q] += slice;
+                }
+            }
+            shares
+        }
+
+        fn drop_player(&mut self, p: usize) {
+            self.active[p] = false;
+        }
+
+        fn served_cost(&mut self) -> f64 {
+            (0..self.needs.len())
+                .filter(|&p| self.active[p])
+                .map(|p| self.needs[p])
+                .fold(0.0, f64::max)
+        }
+    }
+
+    #[test]
+    fn driver_has_no_64_player_cap() {
+        // 100 players, needs 1..=100; utilities afford everyone.
+        let n = 100;
+        let needs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let mut m = Airport::new(needs);
+        let u = vec![1e6; n];
+        let out = run_drop_loop(&mut m, &u);
+        assert_eq!(out.receivers.len(), n);
+        // Exact budget balance: revenue = max need = 100.
+        assert!((out.revenue() - n as f64).abs() < 1e-9);
+        assert!((out.served_cost - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_cascade_reaches_the_maximal_affordable_set() {
+        // Three players, needs [1, 2, 3]. Profile [0.2, 0.9, 3.0]:
+        // round 1 shares [1/3, 1/3+1/2, 1/3+1/2+1] — players 0 and 1
+        // drop; player 2 alone pays 3.0 and can afford it.
+        let mut m = Airport::new(vec![1.0, 2.0, 3.0]);
+        let out = run_drop_loop(&mut m, &[0.2, 0.9, 3.0]);
+        assert_eq!(out.receivers, vec![2]);
+        assert!((out.shares[2] - 3.0).abs() < 1e-9);
+        assert_eq!(out.shares[0], 0.0);
+    }
+
+    #[test]
+    fn everyone_dropping_yields_the_empty_outcome() {
+        let mut m = Airport::new(vec![5.0, 5.0]);
+        let out = run_drop_loop(&mut m, &[0.0, 0.0]);
+        assert!(out.receivers.is_empty());
+        assert_eq!(out.revenue(), 0.0);
+        assert_eq!(out.served_cost, 0.0);
+    }
+
+    #[test]
+    fn final_shares_hook_receives_the_fixpoint_shares() {
+        struct Probe {
+            saw: Option<Vec<f64>>,
+        }
+        impl DropLoopMethod for Probe {
+            fn n_players(&self) -> usize {
+                2
+            }
+            fn round_shares(&mut self) -> Vec<f64> {
+                vec![1.0, 2.0]
+            }
+            fn drop_player(&mut self, _p: usize) {}
+            fn served_cost(&mut self) -> f64 {
+                3.0
+            }
+            fn final_shares(&mut self, fixpoint: Vec<f64>) -> Vec<f64> {
+                self.saw = Some(fixpoint.clone());
+                fixpoint
+            }
+        }
+        let mut m = Probe { saw: None };
+        let out = run_drop_loop(&mut m, &[10.0, 10.0]);
+        assert_eq!(m.saw, Some(vec![1.0, 2.0]));
+        assert_eq!(out.shares, vec![1.0, 2.0]);
+    }
+}

@@ -20,6 +20,7 @@
 pub mod checks;
 pub mod core;
 pub mod cost;
+pub mod driver;
 pub mod mc;
 pub mod mechanism;
 pub mod method;
@@ -32,6 +33,7 @@ pub use checks::{
     cross_monotonicity_violation, is_nondecreasing, is_submodular, submodularity_violation,
 };
 pub use cost::{CachedCost, CostFunction, ExplicitGame};
+pub use driver::{run_drop_loop, DropLoopMethod};
 pub use mc::{marginal_cost_mechanism, McOutcome};
 pub use mechanism::{
     find_group_deviation, find_unilateral_deviation, verify_budget_balance,

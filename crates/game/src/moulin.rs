@@ -11,43 +11,61 @@
 //! VP, CS, and (β-approximate) budget balance \[29, 37, 38\]. The driver
 //! drops *all* unaffordable players per round; under cross-monotonicity the
 //! final set is the unique maximal affordable set regardless of drop order.
+//!
+//! This entry point is **mask-based and therefore capped at 64 players**
+//! (it stays as the exact reference for the mask world). The iteration
+//! itself lives in the shared index-set driver
+//! [`crate::driver::run_drop_loop`], which has no player cap — use it
+//! directly (as the universal-tree mechanisms do through the incremental
+//! engine) for instances beyond 64 players.
 
+use crate::driver::{run_drop_loop, DropLoopMethod};
 use crate::mechanism::MechanismOutcome;
 use crate::method::CostSharingMethod;
-use crate::subset::members_of;
-use wmcs_geom::EPS;
+
+/// Mask-world adapter: mirrors the driver's active set as a `u64`
+/// coalition mask and evaluates the wrapped [`CostSharingMethod`] on it.
+struct MaskDropMethod<'m, M: CostSharingMethod> {
+    method: &'m M,
+    mask: u64,
+}
+
+impl<M: CostSharingMethod> DropLoopMethod for MaskDropMethod<'_, M> {
+    fn n_players(&self) -> usize {
+        self.method.n_players()
+    }
+
+    fn round_shares(&mut self) -> Vec<f64> {
+        self.method.shares(self.mask)
+    }
+
+    fn drop_player(&mut self, p: usize) {
+        self.mask &= !(1u64 << p);
+    }
+
+    fn served_cost(&mut self) -> f64 {
+        self.method.served_cost(self.mask)
+    }
+}
 
 /// Run `M(ξ)` on a reported utility profile.
+///
+/// # Panics
+///
+/// Panics if the method has more than 64 players: coalitions are `u64`
+/// bitmasks here, and `1u64 << n` would overflow (a debug-build panic
+/// and a silent wrap in release before this guard existed). Use the
+/// index-set driver [`crate::driver::run_drop_loop`] beyond 64 players.
 pub fn moulin_shenker(method: &impl CostSharingMethod, reported: &[f64]) -> MechanismOutcome {
     let n = method.n_players();
-    assert_eq!(reported.len(), n);
-    let mut mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    loop {
-        if mask == 0 {
-            return MechanismOutcome::empty(n);
-        }
-        let shares = method.shares(mask);
-        let mut next = mask;
-        for p in members_of(mask) {
-            if reported[p] < shares[p] - EPS {
-                next &= !(1u64 << p);
-            }
-        }
-        if next == mask {
-            let receivers = members_of(mask);
-            let mut final_shares = vec![0.0; n];
-            for &p in &receivers {
-                final_shares[p] = shares[p];
-            }
-            let served_cost = method.served_cost(mask);
-            return MechanismOutcome {
-                receivers,
-                shares: final_shares,
-                served_cost,
-            };
-        }
-        mask = next;
-    }
+    assert!(
+        n <= 64,
+        "moulin_shenker is mask-based and supports at most 64 players (got {n}); \
+         use wmcs_game::run_drop_loop with an index-set DropLoopMethod instead"
+    );
+    let mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut adapter = MaskDropMethod { method, mask };
+    run_drop_loop(&mut adapter, reported)
 }
 
 #[cfg(test)]
@@ -84,6 +102,24 @@ mod tests {
         fn run(&self, reported: &[f64]) -> MechanismOutcome {
             moulin_shenker(&self.method, reported)
         }
+    }
+
+    /// Beyond 64 players a `u64` coalition mask cannot exist; the guard
+    /// must fire instead of a shift overflow (panic in debug, silent
+    /// wrap in release). The index-set driver is the documented path.
+    #[test]
+    #[should_panic(expected = "at most 64 players")]
+    fn more_than_64_players_is_rejected_with_a_clear_message() {
+        struct Huge;
+        impl crate::method::CostSharingMethod for Huge {
+            fn n_players(&self) -> usize {
+                65
+            }
+            fn shares(&self, _mask: u64) -> Vec<f64> {
+                vec![0.0; 65]
+            }
+        }
+        let _ = moulin_shenker(&Huge, &[1.0; 65]);
     }
 
     #[test]

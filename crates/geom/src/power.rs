@@ -64,6 +64,12 @@ impl PowerModel {
             self.kappa * t
         } else if self.alpha == 2.0 {
             self.kappa * t * t
+        } else if self.alpha == 4.0 {
+            // Integer-exponent fast path: the scaling sweeps (T10) build
+            // dense n = 4096 cost matrices at α = 4, where `powf` would
+            // dominate the cell time.
+            let sq = t * t;
+            self.kappa * sq * sq
         } else {
             self.kappa * t.powf(self.alpha)
         }

@@ -102,9 +102,14 @@ impl AlphaOneSolver {
         for (idx, &x) in order.iter().enumerate() {
             acc_u += u[x].max(0.0);
             let w = acc_u - self.net.cost(s, x);
-            // Prefer longer prefixes on ties (largest efficient set).
-            if w > best_w + EPS || (w >= best_w - EPS && idx + 1 > best_prefix) {
-                best_w = best_w.max(w);
+            // Exact total order on welfare; since longer prefixes are
+            // visited later, `>=` yields the longest prefix among true
+            // ties (an EPS-tolerant tie-break here let a prefix with
+            // welfare strictly below `best_w` win, so the returned set
+            // could disagree with the returned net worth consumed by
+            // VCG payments).
+            if w >= best_w {
+                best_w = w;
                 best_prefix = idx + 1;
             }
         }

@@ -176,8 +176,13 @@ impl LineSolver {
                     .collect();
                 let util: f64 = set.iter().map(|&x| u[x].max(0.0)).sum();
                 let w = util - self.chain_cost(&set);
-                if w > best_w + EPS || (w >= best_w - EPS && set.len() > best_set.len()) {
-                    best_w = best_w.max(w);
+                // Exact total order on welfare; interval size breaks
+                // true ties only (an EPS-tolerant tie-break here let a
+                // set with welfare strictly below `best_w` win, so the
+                // returned set could disagree with the returned net
+                // worth consumed by VCG payments).
+                if w > best_w || (w == best_w && set.len() > best_set.len()) {
+                    best_w = w;
                     best_set = set;
                 }
             }

@@ -1,0 +1,639 @@
+//! Incremental Moulin–Shenker engine for universal-tree cost sharing.
+//!
+//! The Moulin–Shenker iteration over a universal tree repeatedly drops
+//! receivers who cannot afford their Shapley share. The naive driver
+//! rebuilds `T(R)` and redistributes every power increment from scratch
+//! each round — `O(n · depth)` per round and `O(n³)` worst case per
+//! mechanism run — which capped every sweep at n ≈ 8–64. This module
+//! keeps the run-long state *incremental*:
+//!
+//! * [`IncrementalShapley`] maintains, per station, the number of active
+//!   receivers in its subtree (`T(R)` membership is exactly
+//!   `rb[v] > 0`), plus the active children of every station as a
+//!   cost-ordered doubly-linked list. Dropping a receiver updates both
+//!   in `O(path to the root)`; a round's shares are one `O(|T(R)|)`
+//!   top-down pass that turns the paper's per-increment split (§2.1)
+//!   into prefix sums `down[y_i] = down[x] + Σ_{j≤i} δ_j / users_j`.
+//!   A full run therefore costs `O(rounds · |T(R)| + Σ dropped path
+//!   lengths)` — `O(n log n + total path length)` for the typical
+//!   logarithmic round count, `O(n²)` worst case, versus the naive
+//!   `O(n³)`.
+//! * [`NetWorthOracle`] runs the largest-efficient-set DP once and then
+//!   answers the MC/VCG queries "net worth with station `x`'s utility
+//!   zeroed" in `O(depth)` via per-station prefix/suffix maxima, instead
+//!   of one full `O(n)` DP per receiver.
+//!
+//! Both universal-tree mechanisms in `wmcs-mechanisms` delegate here,
+//! and the drop loop itself is the shared index-set driver
+//! [`wmcs_game::run_drop_loop`] — the same iteration the mask-based
+//! [`wmcs_game::moulin_shenker`] (n ≤ 64) routes through, so the two
+//! cannot diverge on EPS conventions. [`reference_drop_run`] preserves
+//! the naive per-round recomputation as the correctness reference; the
+//! property suite pins the incremental outcome to it byte for byte.
+
+use crate::universal::UniversalTree;
+use wmcs_game::{run_drop_loop, DropLoopMethod, MechanismOutcome};
+
+/// Sentinel for "no station" in the intrusive sibling lists.
+const NONE: usize = usize::MAX;
+
+/// Run statistics of one incremental drop-loop execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropStats {
+    /// Rounds executed (share recomputations), including the fixpoint
+    /// round.
+    pub rounds: usize,
+    /// Players dropped over the whole run.
+    pub dropped: usize,
+}
+
+/// Incremental state of a Moulin–Shenker run over a universal tree:
+/// the active receiver set, `T(R)` membership via subtree receiver
+/// counts, and the active children of every station in ascending
+/// edge-cost order.
+#[derive(Debug)]
+pub struct IncrementalShapley<'a> {
+    ut: &'a UniversalTree,
+    /// Parent station in the universal tree (`NONE` for the source).
+    parent: Vec<usize>,
+    /// Is the station an active receiver?
+    in_r: Vec<bool>,
+    /// Active receivers in the station's universal-tree subtree;
+    /// `rb[v] > 0` ⟺ `v ∈ T(R) \ {source}`.
+    rb: Vec<usize>,
+    /// Intrusive cost-ordered list of each station's children with
+    /// `rb > 0` (`first_child[x]` → `next_sib` chain; `prev_sib` makes
+    /// unlinking O(1)).
+    first_child: Vec<usize>,
+    next_sib: Vec<usize>,
+    prev_sib: Vec<usize>,
+    /// Scratch: accumulated root-path share prefix per station.
+    down: Vec<f64>,
+    /// Scratch: per-station shares of the last round.
+    shares: Vec<f64>,
+    /// Scratch: DFS stack.
+    stack: Vec<usize>,
+    rounds: usize,
+}
+
+impl<'a> IncrementalShapley<'a> {
+    /// Engine over `receivers` (station indices; the source is not a
+    /// receiver). Construction is `O(n)`.
+    pub fn new(ut: &'a UniversalTree, receivers: &[usize]) -> Self {
+        let net = ut.network();
+        let n = net.n_stations();
+        let s = net.source();
+        let cs = ut.children_sorted();
+        let mut in_r = vec![false; n];
+        for &r in receivers {
+            assert!(r != s, "the source cannot be a receiver");
+            in_r[r] = true;
+        }
+        let mut parent = vec![NONE; n];
+        for v in 0..n {
+            if let Some(p) = ut.tree().parent(v) {
+                parent[v] = p;
+            }
+        }
+        // Subtree receiver counts, children before parents.
+        let order = ut.tree().bfs_order();
+        let mut rb = vec![0usize; n];
+        for &v in order.iter().rev() {
+            let mut cnt = usize::from(in_r[v]);
+            for &y in &cs[v] {
+                cnt += rb[y];
+            }
+            rb[v] = cnt;
+        }
+        // Link the active children of every station in cost order.
+        let mut first_child = vec![NONE; n];
+        let mut next_sib = vec![NONE; n];
+        let mut prev_sib = vec![NONE; n];
+        for v in 0..n {
+            let mut prev = NONE;
+            for &y in cs[v].iter().filter(|&&y| rb[y] > 0) {
+                if prev == NONE {
+                    first_child[v] = y;
+                } else {
+                    next_sib[prev] = y;
+                }
+                prev_sib[y] = prev;
+                prev = y;
+            }
+        }
+        Self {
+            ut,
+            parent,
+            in_r,
+            rb,
+            first_child,
+            next_sib,
+            prev_sib,
+            down: vec![0.0; n],
+            shares: vec![0.0; n],
+            stack: Vec::with_capacity(n),
+            rounds: 0,
+        }
+    }
+
+    /// The paper's per-increment Shapley split (§2.1) for the current
+    /// receiver set, as one `O(|T(R)|)` top-down pass. For station `x`
+    /// with active children `y_1 … y_k` (ascending cost), increment
+    /// `δ_i = c(x,y_i) − c(x,y_{i−1})` is worth `δ_i / users_i` to every
+    /// receiver below `y_i … y_k`, so the accumulated prefix
+    /// `down[y_i] = down[x] + Σ_{j≤i} δ_j / users_j` *is* the share of
+    /// every receiver whose root path enters `x` through `y_i`.
+    /// Returns per-station shares (stale entries outside the active set
+    /// are not cleared; callers index by active receivers only).
+    pub fn round_shares_by_station(&mut self) -> &[f64] {
+        self.rounds += 1;
+        let net = self.ut.network();
+        let s = net.source();
+        self.down[s] = 0.0;
+        self.stack.clear();
+        self.stack.push(s);
+        while let Some(x) = self.stack.pop() {
+            if self.in_r[x] {
+                self.shares[x] = self.down[x];
+            }
+            // Receivers strictly below x: its own subtree count minus x.
+            let mut remaining = self.rb[x] - usize::from(self.in_r[x]);
+            let mut prev_cost = 0.0;
+            let mut acc = self.down[x];
+            let mut y = self.first_child[x];
+            while y != NONE {
+                let cost = net.cost(x, y);
+                let delta = cost - prev_cost;
+                prev_cost = cost;
+                if delta > 0.0 {
+                    debug_assert!(remaining > 0, "every active branch has a receiver");
+                    acc += delta / remaining as f64;
+                }
+                self.down[y] = acc;
+                remaining -= self.rb[y];
+                self.stack.push(y);
+                y = self.next_sib[y];
+            }
+        }
+        &self.shares
+    }
+
+    /// Drop receiver `r`: decrement the subtree counts on its root path
+    /// and unlink stations whose subtree just emptied. `O(depth of r)`.
+    pub fn drop_receiver(&mut self, r: usize) {
+        debug_assert!(self.in_r[r], "station {r} is not an active receiver");
+        self.in_r[r] = false;
+        let mut v = r;
+        loop {
+            self.rb[v] -= 1;
+            let p = self.parent[v];
+            if p == NONE {
+                break;
+            }
+            if self.rb[v] == 0 {
+                // v left T(R): unlink it from p's active children.
+                let (pr, nx) = (self.prev_sib[v], self.next_sib[v]);
+                if pr == NONE {
+                    self.first_child[p] = nx;
+                } else {
+                    self.next_sib[pr] = nx;
+                }
+                if nx != NONE {
+                    self.prev_sib[nx] = pr;
+                }
+            }
+            v = p;
+        }
+    }
+
+    /// The currently-active receiver stations, ascending.
+    pub fn active_stations(&self) -> Vec<usize> {
+        (0..self.in_r.len()).filter(|&v| self.in_r[v]).collect()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+/// Player-indexed [`DropLoopMethod`] over the incremental engine: the
+/// driver speaks player ids, the engine speaks station ids.
+struct PlayerAdapter<'a> {
+    engine: IncrementalShapley<'a>,
+}
+
+impl DropLoopMethod for PlayerAdapter<'_> {
+    fn n_players(&self) -> usize {
+        self.engine.ut.network().n_players()
+    }
+
+    fn round_shares(&mut self) -> Vec<f64> {
+        let net = self.engine.ut.network();
+        let n = net.n_players();
+        let by_station = self.engine.round_shares_by_station();
+        (0..n)
+            .map(|p| by_station[net.station_of_player(p)])
+            .collect()
+    }
+
+    fn drop_player(&mut self, p: usize) {
+        let station = self.engine.ut.network().station_of_player(p);
+        self.engine.drop_receiver(station);
+    }
+
+    fn served_cost(&mut self) -> f64 {
+        self.engine
+            .ut
+            .multicast_cost(&self.engine.active_stations())
+    }
+
+    fn final_shares(&mut self, _fixpoint: Vec<f64>) -> Vec<f64> {
+        // One exact evaluation of the reference share computation on the
+        // surviving set, so the charged shares are byte-identical to the
+        // naive driver's.
+        let net = self.engine.ut.network();
+        let by_station = self
+            .engine
+            .ut
+            .shapley_shares(&self.engine.active_stations());
+        (0..net.n_players())
+            .map(|p| by_station[net.station_of_player(p)])
+            .collect()
+    }
+}
+
+/// Run `M(Shapley)` over a universal tree with the incremental engine.
+/// Equivalent to [`reference_drop_run`] (property-tested byte for byte),
+/// with no 64-player cap.
+pub fn shapley_drop_run(ut: &UniversalTree, reported: &[f64]) -> MechanismOutcome {
+    shapley_drop_run_with_stats(ut, reported).0
+}
+
+/// [`shapley_drop_run`], also reporting round/drop counts.
+pub fn shapley_drop_run_with_stats(
+    ut: &UniversalTree,
+    reported: &[f64],
+) -> (MechanismOutcome, DropStats) {
+    let receivers = ut.network().non_source_stations();
+    let mut method = PlayerAdapter {
+        engine: IncrementalShapley::new(ut, &receivers),
+    };
+    let out = run_drop_loop(&mut method, reported);
+    let stats = DropStats {
+        rounds: method.engine.rounds(),
+        dropped: reported.len() - out.receivers.len(),
+    };
+    (out, stats)
+}
+
+/// The naive pre-incremental driver: every round recomputes the full
+/// [`UniversalTree::shapley_shares`] on the surviving station set —
+/// `O(n · depth)` per round. Kept verbatim as the correctness reference
+/// for the engine (tests, T10's n = 64 identity column, and the
+/// `drop_engine` criterion bench).
+pub fn reference_drop_run(ut: &UniversalTree, reported: &[f64]) -> MechanismOutcome {
+    let net = ut.network();
+    let n = net.n_players();
+    assert_eq!(reported.len(), n);
+    let mut in_set: Vec<bool> = vec![true; n];
+    loop {
+        let stations: Vec<usize> = (0..n)
+            .filter(|&p| in_set[p])
+            .map(|p| net.station_of_player(p))
+            .collect();
+        let shares_by_station = ut.shapley_shares(&stations);
+        let mut dropped_any = false;
+        for p in 0..n {
+            if in_set[p] {
+                let share = shares_by_station[net.station_of_player(p)];
+                if reported[p] < share - wmcs_geom::EPS {
+                    in_set[p] = false;
+                    dropped_any = true;
+                }
+            }
+        }
+        if !dropped_any {
+            let receivers: Vec<usize> = (0..n).filter(|&p| in_set[p]).collect();
+            let mut shares = vec![0.0; n];
+            for &p in &receivers {
+                shares[p] = shares_by_station[net.station_of_player(p)];
+            }
+            let served_cost = ut.multicast_cost(&stations);
+            return MechanismOutcome {
+                receivers,
+                shares,
+                served_cost,
+            };
+        }
+    }
+}
+
+/// The largest-efficient-set DP (§2.1) with `O(depth)` re-query after
+/// zeroing one station's utility — the inner loop of the MC/VCG
+/// mechanism, which needs `NW(u_{−i})` for every receiver `i`.
+///
+/// The bottom-up pass stores, per station, the prefix sums
+/// `val_j = Σ_{i≤j} h(y_i) − c(x, y_j)` folded into prefix maxima
+/// (`pre[j] = max(0, val_0 … val_{j−1})`) and suffix maxima
+/// (`suf[j] = max(val_j … val_{k−1})`). Zeroing a station shifts every
+/// `val_j` of its parent with `j ≥ pos` by the same `δ = h' − h`, so the
+/// parent's new best prefix is `max(pre[pos], suf[pos] + δ)` — `O(1)`
+/// per ancestor instead of `O(children)`.
+///
+/// Value comparisons are exact (total order, larger prefix only on true
+/// ties), fixing the EPS drift that could return a set disagreeing with
+/// the reported net worth.
+#[derive(Debug)]
+pub struct NetWorthOracle<'a> {
+    ut: &'a UniversalTree,
+    /// Utilities by station, as given (the DP clamps at 0 on use).
+    u: Vec<f64>,
+    /// `h[v]`: best net worth of the subtree game rooted at `v`.
+    h: Vec<f64>,
+    /// The chosen best prefix value at `v` (`h[v] = own(v) + best[v]`).
+    best: Vec<f64>,
+    /// Chosen prefix length at `v` (0 = serve no child branch).
+    choice: Vec<usize>,
+    /// `pre[v][j] = max(0, val_0 … val_{j−1})`.
+    pre: Vec<Vec<f64>>,
+    /// `suf[v][j] = max(val_j … val_{k−1})`.
+    suf: Vec<Vec<f64>>,
+    /// Index of `v` within its parent's cost-sorted children.
+    pos_in_parent: Vec<usize>,
+}
+
+impl<'a> NetWorthOracle<'a> {
+    /// Run the bottom-up DP once: `O(n)`.
+    pub fn new(ut: &'a UniversalTree, u: &[f64]) -> Self {
+        let net = ut.network();
+        let n = net.n_stations();
+        assert_eq!(u.len(), n);
+        let s = net.source();
+        let cs = ut.children_sorted();
+        let mut pos_in_parent = vec![0usize; n];
+        for kids in cs {
+            for (j, &y) in kids.iter().enumerate() {
+                pos_in_parent[y] = j;
+            }
+        }
+        let mut h = vec![0.0f64; n];
+        let mut best = vec![0.0f64; n];
+        let mut choice = vec![0usize; n];
+        let mut pre = vec![Vec::new(); n];
+        let mut suf = vec![Vec::new(); n];
+        let order = ut.tree().bfs_order();
+        for &v in order.iter().rev() {
+            let kids = &cs[v];
+            let k = kids.len();
+            let own = if v == s { 0.0 } else { u[v].max(0.0) };
+            let mut vals = Vec::with_capacity(k);
+            let mut acc = 0.0f64;
+            for &y in kids {
+                acc += h[y];
+                vals.push(acc - net.cost(v, y));
+            }
+            // Exact total order on value; larger prefix on true ties.
+            let mut b = 0.0f64;
+            let mut bj = 0usize;
+            for (j, &val) in vals.iter().enumerate() {
+                if val >= b {
+                    b = val;
+                    bj = j + 1;
+                }
+            }
+            let mut pre_v = vec![0.0f64; k];
+            for j in 1..k {
+                pre_v[j] = pre_v[j - 1].max(vals[j - 1]);
+            }
+            let mut suf_v = vec![f64::NEG_INFINITY; k];
+            for j in (0..k).rev() {
+                suf_v[j] = match suf_v.get(j + 1) {
+                    Some(&next) => vals[j].max(next),
+                    None => vals[j],
+                };
+            }
+            h[v] = own + b;
+            best[v] = b;
+            choice[v] = bj;
+            pre[v] = pre_v;
+            suf[v] = suf_v;
+        }
+        Self {
+            ut,
+            u: u.to_vec(),
+            h,
+            best,
+            choice,
+            pre,
+            suf,
+            pos_in_parent,
+        }
+    }
+
+    /// Maximal net worth `NW(u)`.
+    pub fn net_worth(&self) -> f64 {
+        self.h[self.ut.network().source()]
+    }
+
+    /// The largest welfare-maximising station set and its net worth:
+    /// walk the chosen prefixes down from the source.
+    pub fn efficient_set(&self) -> (Vec<usize>, f64) {
+        let s = self.ut.network().source();
+        let cs = self.ut.children_sorted();
+        let mut reached = Vec::new();
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            if v != s {
+                reached.push(v);
+            }
+            stack.extend(cs[v].iter().take(self.choice[v]).copied());
+        }
+        reached.sort_unstable();
+        (reached, self.net_worth())
+    }
+
+    /// `NW(u_{−x})`: maximal net worth with station `x`'s utility set to
+    /// zero, in `O(depth of x)`. Agrees with a full DP on the modified
+    /// profile up to float reassociation (pinned by property tests).
+    pub fn net_worth_zeroing(&self, x: usize) -> f64 {
+        let net = self.ut.network();
+        let s = net.source();
+        assert!(x != s, "the source has no utility to zero");
+        // Zeroing only lowers own(x); the subtree below x is unchanged.
+        let mut v = x;
+        let mut hv = self.best[x];
+        while v != s {
+            if hv == self.h[v] {
+                // Nothing changed at v, so nothing changes above it.
+                return self.h[s];
+            }
+            let p = self
+                .ut
+                .tree()
+                .parent(v)
+                .expect("non-source station has a parent");
+            let j = self.pos_in_parent[v];
+            let delta = hv - self.h[v];
+            let b = self.pre[p][j].max(self.suf[p][j] + delta);
+            let own_p = if p == s { 0.0 } else { self.u[p].max(0.0) };
+            hv = own_p + b;
+            v = p;
+        }
+        hv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::WirelessNetwork;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_geom::{approx_eq, Point, PowerModel};
+    use wmcs_graph::RootedTree;
+
+    fn random_tree(seed: u64, n: usize) -> UniversalTree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        if seed.is_multiple_of(2) {
+            UniversalTree::shortest_path_tree(net)
+        } else {
+            UniversalTree::mst_tree(net)
+        }
+    }
+
+    /// Chain 0 → 1 → 2 plus branch 1 → 3 (the universal.rs fixture).
+    fn chain_tree() -> UniversalTree {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(1.0, 2.0),
+        ];
+        let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
+        let tree = RootedTree::from_parents(0, vec![None, Some(0), Some(1), Some(1)]);
+        UniversalTree::new(net, tree)
+    }
+
+    #[test]
+    fn round_shares_match_the_reference_split() {
+        let ut = chain_tree();
+        for receivers in [vec![1], vec![2], vec![3], vec![2, 3], vec![1, 2, 3]] {
+            let reference = ut.shapley_shares(&receivers);
+            let mut engine = IncrementalShapley::new(&ut, &receivers);
+            let fast = engine.round_shares_by_station();
+            for &r in &receivers {
+                assert!(
+                    approx_eq(fast[r], reference[r]),
+                    "R = {receivers:?}, station {r}: {} ≠ {}",
+                    fast[r],
+                    reference[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_matches_recomputation_from_scratch() {
+        for seed in 0..20 {
+            let ut = random_tree(seed, 12);
+            let mut engine = IncrementalShapley::new(&ut, &ut.network().non_source_stations());
+            let mut alive: Vec<usize> = ut.network().non_source_stations();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xd0b);
+            while alive.len() > 1 {
+                let victim = alive.remove(rng.gen_range(0..alive.len()));
+                engine.drop_receiver(victim);
+                let fast = engine.round_shares_by_station().to_vec();
+                let reference = ut.shapley_shares(&alive);
+                for &r in &alive {
+                    assert!(
+                        approx_eq(fast[r], reference[r]),
+                        "seed {seed}, alive {alive:?}, station {r}: {} ≠ {}",
+                        fast[r],
+                        reference[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_run_equals_reference_run() {
+        for seed in 0..30 {
+            let ut = random_tree(seed, 9);
+            let n = ut.network().n_players();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xfeed);
+            let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..12.0)).collect();
+            let fast = shapley_drop_run(&ut, &u);
+            let reference = reference_drop_run(&ut, &u);
+            assert_eq!(fast.receivers, reference.receivers, "seed {seed}");
+            assert_eq!(fast.shares, reference.shares, "seed {seed}");
+            assert_eq!(fast.served_cost, reference.served_cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stats_count_rounds_and_drops() {
+        let ut = chain_tree();
+        // All rich: one fixpoint round, no drops.
+        let (_, stats) = shapley_drop_run_with_stats(&ut, &[100.0, 100.0, 100.0]);
+        assert_eq!(
+            stats,
+            DropStats {
+                rounds: 1,
+                dropped: 0
+            }
+        );
+        // All poor: everyone drops in round 1, empty fixpoint.
+        let (out, stats) = shapley_drop_run_with_stats(&ut, &[0.0, 0.0, 0.0]);
+        assert!(out.receivers.is_empty());
+        assert_eq!(stats.dropped, 3);
+    }
+
+    #[test]
+    fn oracle_matches_full_dp_after_zeroing() {
+        for seed in 0..20 {
+            let ut = random_tree(seed, 10);
+            let n = ut.network().n_stations();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xace);
+            let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..8.0)).collect();
+            let oracle = NetWorthOracle::new(&ut, &u);
+            assert!(
+                approx_eq(oracle.net_worth(), ut.net_worth(&u)),
+                "seed {seed}"
+            );
+            for x in (0..n).filter(|&x| x != ut.network().source()) {
+                let mut u_minus = u.clone();
+                u_minus[x] = 0.0;
+                let full = ut.net_worth(&u_minus);
+                let fast = oracle.net_worth_zeroing(x);
+                assert!(
+                    (full - fast).abs() < 1e-9 * (1.0 + full.abs()),
+                    "seed {seed}, station {x}: full {full} ≠ fast {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_efficient_set_net_worth_is_consistent_with_its_set() {
+        // The satellite invariant: the returned net worth must be the
+        // welfare of the returned set (exact tie-break, no EPS drift).
+        for seed in 0..20 {
+            let ut = random_tree(seed, 10);
+            let n = ut.network().n_stations();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xbee);
+            let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..8.0)).collect();
+            let (set, nw) = ut.largest_efficient_set(&u);
+            let util: f64 = set.iter().map(|&x| u[x].max(0.0)).sum();
+            let welfare = util - ut.multicast_cost(&set);
+            assert!(
+                (welfare - nw).abs() < 1e-9 * (1.0 + nw.abs()),
+                "seed {seed}: set welfare {welfare} ≠ net worth {nw}"
+            );
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`universal`] — universal broadcast trees (§2.1): the submodular cost
 //!   function of Lemma 2.1, the paper's efficient Shapley split, and the
 //!   largest-efficient-set tree DP for the MC mechanism;
+//! * [`incremental`] — the incremental Moulin–Shenker engine and the
+//!   `O(depth)`-per-query VCG net-worth oracle that scale both §2.1
+//!   mechanisms to thousands of stations;
 //! * [`memt`] — exact minimum-energy multicast (set-state Dijkstra) and the
 //!   all-subsets `C*` table, the optimum reference for every β-BB claim;
 //! * [`mst_heuristic`] — the MST broadcast heuristic \[50\] and the KMB
@@ -24,6 +27,7 @@
 
 pub mod bip;
 pub mod euclidean;
+pub mod incremental;
 pub mod memt;
 pub mod mst_heuristic;
 pub mod network;
@@ -32,6 +36,10 @@ pub mod universal;
 
 pub use bip::{bip_broadcast, mip_multicast};
 pub use euclidean::{AlphaOneCost, AlphaOneSolver, LineCost, LineSolver};
+pub use incremental::{
+    reference_drop_run, shapley_drop_run, shapley_drop_run_with_stats, DropStats,
+    IncrementalShapley, NetWorthOracle,
+};
 pub use memt::{memt_exact, MemtCostTable, OptimalMulticastCost, MAX_EXACT_STATIONS};
 pub use mst_heuristic::{mst_broadcast, mst_multicast, steiner_multicast};
 pub use network::WirelessNetwork;

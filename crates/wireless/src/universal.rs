@@ -19,7 +19,6 @@
 use crate::network::WirelessNetwork;
 use crate::power::PowerAssignment;
 use wmcs_game::CostFunction;
-use wmcs_geom::EPS;
 use wmcs_graph::{dijkstra, prim_mst, RootedTree};
 
 /// A universal broadcast tree over a network.
@@ -80,6 +79,13 @@ impl UniversalTree {
     /// The underlying spanning tree.
     pub fn tree(&self) -> &RootedTree {
         &self.tree
+    }
+
+    /// Children of each station in ascending edge-cost order — the order
+    /// shared by the Shapley split, the efficient-set DP and the
+    /// incremental engine.
+    pub(crate) fn children_sorted(&self) -> &[Vec<usize>] {
+        &self.children_sorted
     }
 
     /// The multicast sub-tree `T(R)` for a station set.
@@ -166,47 +172,19 @@ impl UniversalTree {
     /// Largest efficient receiver set for utilities `u` (indexed by
     /// station; the source entry is ignored), via the bottom-up DP:
     /// `h(x) = u_x + max_j (Σ_{i≤j} h(y_i) − c(x, y_j))` over prefixes of
-    /// the cost-sorted children (larger prefixes win ties, making the
-    /// selected maximiser the largest). Returns `(stations, net_worth)`.
+    /// the cost-sorted children. The comparison is an **exact** total
+    /// order on value, with prefix length breaking true ties only (larger
+    /// prefix wins, making the selected maximiser the largest): an
+    /// EPS-tolerant tie-break here once let a prefix whose value was
+    /// strictly below the maximum win, so the returned station set could
+    /// disagree with the returned net worth that VCG payments consume.
+    /// Returns `(stations, net_worth)`.
+    ///
+    /// The DP itself lives in [`crate::incremental::NetWorthOracle`],
+    /// which additionally answers the zero-one-station queries of the MC
+    /// mechanism in `O(depth)` each.
     pub fn largest_efficient_set(&self, u: &[f64]) -> (Vec<usize>, f64) {
-        let n = self.net.n_stations();
-        assert_eq!(u.len(), n);
-        let s = self.net.source();
-        // h[v] and the chosen prefix length per station.
-        let mut h = vec![0.0f64; n];
-        let mut choice = vec![0usize; n];
-        let order = self.tree.bfs_order();
-        for &v in order.iter().rev() {
-            let kids = &self.children_sorted[v];
-            let own = if v == s { 0.0 } else { u[v].max(0.0) };
-            let mut best = 0.0f64;
-            let mut best_j = 0usize;
-            let mut acc = 0.0f64;
-            for (j, &y) in kids.iter().enumerate() {
-                acc += h[y];
-                let val = acc - self.net.cost(v, y);
-                // Prefer larger prefixes on ties → largest efficient set.
-                if val >= best - EPS && (val > best + EPS || j + 1 > best_j) {
-                    best = val.max(best);
-                    best_j = j + 1;
-                }
-            }
-            h[v] = own + best;
-            choice[v] = best_j;
-        }
-        // Walk down the chosen prefixes to collect the reached stations.
-        let mut reached = Vec::new();
-        let mut stack = vec![s];
-        while let Some(v) = stack.pop() {
-            if v != s {
-                reached.push(v);
-            }
-            for &y in self.children_sorted[v].iter().take(choice[v]) {
-                stack.push(y);
-            }
-        }
-        reached.sort_unstable();
-        (reached, h[s])
+        crate::incremental::NetWorthOracle::new(self, u).efficient_set()
     }
 
     /// Maximal net worth only (used for VCG payments).
@@ -416,6 +394,42 @@ mod tests {
             let util: f64 = members_of(dp_mask).iter().map(|&p| u_players[p]).sum();
             assert!(approx_eq(util - game.cost_mask(dp_mask), best));
         }
+    }
+
+    /// Adversarial chain of EPS-spaced child costs: prefixes 2 and 3 are
+    /// within EPS of the best prefix's value but strictly below it. The
+    /// old EPS-tolerant tie-break let each of them "win" in turn (the
+    /// drift compounding along the chain), so the returned station set
+    /// had welfare EPS below the returned net worth — the value VCG
+    /// payments consume. The exact total order must return a set whose
+    /// welfare *is* the net worth.
+    #[test]
+    fn efficient_set_tie_break_is_exact_under_eps_spaced_costs() {
+        use wmcs_geom::EPS;
+        use wmcs_graph::CostMatrix;
+        // Star: source 0, leaf children 1, 2, 3 with utilities 10 each.
+        // Prefix values: val_1 = 10 − 5 = 5, val_2 = 20 − (15 + EPS/2) =
+        // 5 − EPS/2, val_3 = 30 − (25 + EPS) = 5 − EPS.
+        let costs = CostMatrix::from_edges(
+            4,
+            &[(0, 1, 5.0), (0, 2, 15.0 + EPS / 2.0), (0, 3, 25.0 + EPS)],
+        );
+        let net = WirelessNetwork::symmetric(costs, 0);
+        let tree = RootedTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)]);
+        let ut = UniversalTree::new(net, tree);
+        let u = [0.0, 10.0, 10.0, 10.0];
+        let (set, nw) = ut.largest_efficient_set(&u);
+        // The unique maximiser is prefix {1}: value exactly 5.
+        assert_eq!(set, vec![1], "EPS-spaced chain must not drift the prefix");
+        assert!(approx_eq(nw, 5.0));
+        // The invariant the old tie-break violated: the returned net
+        // worth equals the returned set's welfare, exactly.
+        let util: f64 = set.iter().map(|&x| u[x]).sum();
+        let welfare = util - ut.multicast_cost(&set);
+        assert!(
+            (welfare - nw).abs() < 1e-12,
+            "set welfare {welfare} disagrees with net worth {nw}"
+        );
     }
 
     #[test]

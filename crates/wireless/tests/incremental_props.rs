@@ -1,0 +1,128 @@
+//! Property suite for the incremental Moulin–Shenker engine: on every
+//! registered layout family the incremental outcome — receiver set,
+//! shares, served cost — is **byte-identical** to the naive per-round
+//! `shapley_shares` reference, and budget balance survives at n = 1024.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_wireless::incremental::{reference_drop_run, shapley_drop_run, NetWorthOracle};
+use wmcs_wireless::{UniversalTree, WirelessNetwork};
+
+/// Universal tree of a scenario draw; alternates between both tree
+/// constructions so the engine is pinned on SPT and MST shapes alike.
+fn scenario_tree(family: LayoutFamily, n: usize, alpha: f64, seed: u64) -> UniversalTree {
+    let sc = Scenario::new(family, n, 2, alpha);
+    let net = WirelessNetwork::euclidean(sc.points(seed), sc.power_model(), 0);
+    if seed.is_multiple_of(2) {
+        UniversalTree::shortest_path_tree(net)
+    } else {
+        UniversalTree::mst_tree(net)
+    }
+}
+
+/// Utilities spanning the interesting regime: scaled to the per-player
+/// broadcast cost so runs mix full service, cascaded drops and empty
+/// outcomes.
+fn utilities(ut: &UniversalTree, seed: u64, scale: f64) -> Vec<f64> {
+    let n = ut.network().n_players();
+    let total = ut.multicast_cost(&ut.network().non_source_stations());
+    let hi = (scale * total / n as f64).max(1e-6);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x17c0_de05);
+    (0..n).map(|_| rng.gen_range(0.0..hi)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The satellite identity: for every layout family at n ≤ 64 the
+    /// incremental engine and the naive reference agree byte for byte.
+    #[test]
+    fn incremental_equals_naive_reference_on_every_family(
+        fam_idx in 0usize..5,
+        n in 3usize..=64,
+        alpha_idx in 0usize..2,
+        seed in 0u64..10_000,
+        scale in 0.2f64..3.0,
+    ) {
+        let family = LayoutFamily::ALL[fam_idx];
+        let alpha = [2.0f64, 4.0][alpha_idx];
+        let ut = scenario_tree(family, n, alpha, seed);
+        let u = utilities(&ut, seed, scale);
+        let fast = shapley_drop_run(&ut, &u);
+        let naive = reference_drop_run(&ut, &u);
+        prop_assert_eq!(&fast.receivers, &naive.receivers,
+            "{} n={} seed={}", family.name(), n, seed);
+        prop_assert_eq!(&fast.shares, &naive.shares,
+            "{} n={} seed={}", family.name(), n, seed);
+        prop_assert_eq!(fast.served_cost, naive.served_cost,
+            "{} n={} seed={}", family.name(), n, seed);
+    }
+
+    /// The MC oracle's O(depth) zeroing query agrees with a full DP on
+    /// the modified profile, on every layout family.
+    #[test]
+    fn net_worth_zeroing_matches_full_dp(
+        fam_idx in 0usize..5,
+        n in 3usize..=32,
+        seed in 0u64..10_000,
+    ) {
+        let family = LayoutFamily::ALL[fam_idx];
+        let ut = scenario_tree(family, n, 2.0, seed);
+        let u = utilities(&ut, seed ^ 0x7c9_0bb, 2.0);
+        let mut u_st = vec![0.0; ut.network().n_stations()];
+        for (p, &v) in u.iter().enumerate() {
+            u_st[ut.network().station_of_player(p)] = v;
+        }
+        let oracle = NetWorthOracle::new(&ut, &u_st);
+        for x in ut.network().non_source_stations() {
+            let mut u_minus = u_st.clone();
+            u_minus[x] = 0.0;
+            let full = ut.net_worth(&u_minus);
+            let fast = oracle.net_worth_zeroing(x);
+            prop_assert!((full - fast).abs() < 1e-9 * (1.0 + full.abs()),
+                "{} n={} seed={} station {}: {} != {}",
+                family.name(), n, seed, x, full, fast);
+        }
+    }
+}
+
+/// Budget balance at paper-scale-plus size: at n = 1024 on a fixed seed
+/// the charged shares still sum to `C_T(R)` for every layout family —
+/// on the full receiver set (a rich profile serves all 1023 players)
+/// and on whatever survives a drop cascade (a scaled profile).
+#[test]
+fn budget_balance_holds_at_n_1024() {
+    for family in LayoutFamily::ALL {
+        let ut = scenario_tree(family, 1024, 2.0, 7);
+        let rich = vec![1e12; ut.network().n_players()];
+        let scaled = utilities(&ut, 7, 1.5);
+        for (label, u) in [("rich", &rich), ("scaled", &scaled)] {
+            let out = shapley_drop_run(&ut, u);
+            let stations: Vec<usize> = out
+                .receivers
+                .iter()
+                .map(|&p| ut.network().station_of_player(p))
+                .collect();
+            let cost = ut.multicast_cost(&stations);
+            let revenue = out.revenue();
+            assert!(
+                (revenue - cost).abs() <= 1e-9 * (1.0 + cost.abs()),
+                "{} {label}: revenue {revenue} != multicast cost {cost}",
+                family.name()
+            );
+            assert_eq!(out.served_cost, cost, "{} {label}", family.name());
+            // Voluntary participation at scale: every survivor affords
+            // its share.
+            for &p in &out.receivers {
+                assert!(out.shares[p] <= u[p] + 1e-9, "{} {label}", family.name());
+            }
+        }
+        // The rich run is the full-set sum check; the scaled run must
+        // actually exercise the drop path.
+        let full = shapley_drop_run(&ut, &rich);
+        assert_eq!(full.receivers.len(), 1023, "{}", family.name());
+        let cascaded = shapley_drop_run(&ut, &scaled);
+        assert!(cascaded.receivers.len() < 1023, "{}", family.name());
+    }
+}
