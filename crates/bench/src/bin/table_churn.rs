@@ -1,0 +1,6 @@
+//! Regenerate experiment T11 (see EXPERIMENTS.md) over its full scenario
+//! matrix — live Shapley/MC sessions under light and heavy churn at
+//! n ≤ 4096. Usage: `table_churn [SEEDS] [--json]`.
+fn main() {
+    wmcs_bench::cli::table_main("T11");
+}

@@ -89,6 +89,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiments::t7::T7,
     &crate::experiments::t9::T9,
     &crate::experiments::t10::T10,
+    &crate::experiments::t11::T11,
 ];
 
 /// Resolve an experiment by id (case-insensitive).

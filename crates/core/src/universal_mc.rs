@@ -10,7 +10,7 @@
 //! `O(n + Σ depth)` instead of one `O(n)` DP per receiver.
 
 use wmcs_game::{Mechanism, MechanismOutcome};
-use wmcs_wireless::{NetWorthOracle, UniversalTree};
+use wmcs_wireless::{vcg_outcome, McSession, NetWorthOracle, UniversalTree};
 
 /// The MC mechanism over a universal broadcast tree.
 #[derive(Debug, Clone)]
@@ -34,6 +34,15 @@ impl UniversalMcMechanism {
         self.tree.net_worth(&self.utilities_by_station(reported))
     }
 
+    /// Start a live churn session over this mechanism's universal tree:
+    /// the warm-state engine that re-prices the VCG outcome across
+    /// `Join`/`Leave`/`Rebid` batches, byte-identical to re-running
+    /// [`Mechanism::run`] on the current bid vector after every batch
+    /// (both evaluate [`wmcs_wireless::vcg_outcome`]).
+    pub fn session(&self) -> McSession<'_> {
+        McSession::new(&self.tree)
+    }
+
     fn utilities_by_station(&self, reported: &[f64]) -> Vec<f64> {
         let net = self.tree.network();
         let mut u = vec![0.0; net.n_stations()];
@@ -50,27 +59,11 @@ impl Mechanism for UniversalMcMechanism {
     }
 
     fn run(&self, reported: &[f64]) -> MechanismOutcome {
-        let net = self.tree.network();
-        let n = self.n_players();
-        assert_eq!(reported.len(), n);
+        assert_eq!(reported.len(), self.n_players());
         let u = self.utilities_by_station(reported);
-        let oracle = NetWorthOracle::new(&self.tree, &u);
-        let (stations, nw) = oracle.efficient_set();
-        let mut shares = vec![0.0; n];
-        let receivers: Vec<usize> = stations
-            .iter()
-            .filter_map(|&x| net.player_of_station(x))
-            .collect();
-        for &p in &receivers {
-            let nw_minus = oracle.net_worth_zeroing(net.station_of_player(p));
-            shares[p] = (reported[p] - (nw - nw_minus)).max(0.0);
-        }
-        let served_cost = self.tree.multicast_cost(&stations);
-        MechanismOutcome {
-            receivers,
-            shares,
-            served_cost,
-        }
+        // The same evaluation path a live McSession's reprice uses, so
+        // one-shot runs and warm sessions cannot diverge.
+        vcg_outcome(&self.tree, &NetWorthOracle::new(&self.tree, &u))
     }
 }
 
@@ -145,6 +138,26 @@ mod tests {
             let out = m.run(&u);
             assert!(verify_no_positive_transfers(&out));
             assert!(verify_voluntary_participation(&out, &u));
+        }
+    }
+
+    #[test]
+    fn session_with_everyone_joined_matches_the_one_shot_run() {
+        for seed in 20..24 {
+            let m = mechanism(seed, 8);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x31c);
+            let u: Vec<f64> = (0..7).map(|_| rng.gen_range(0.0..12.0)).collect();
+            let batch: Vec<wmcs_wireless::ChurnEvent> = u
+                .iter()
+                .enumerate()
+                .map(|(player, &utility)| wmcs_wireless::ChurnEvent::Join { player, utility })
+                .collect();
+            let mut session = m.session();
+            let live = session.apply_batch(&batch);
+            let one_shot = m.run(&u);
+            assert_eq!(live.receivers, one_shot.receivers, "seed {seed}");
+            assert_eq!(live.shares, one_shot.shares, "seed {seed}");
+            assert_eq!(live.served_cost, one_shot.served_cost, "seed {seed}");
         }
     }
 

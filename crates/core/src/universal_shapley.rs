@@ -13,7 +13,7 @@
 //! run routinely (experiment T10).
 
 use wmcs_game::{Mechanism, MechanismOutcome};
-use wmcs_wireless::{incremental, PowerAssignment, UniversalTree};
+use wmcs_wireless::{incremental, PowerAssignment, ShapleySession, UniversalTree};
 
 /// `M(Shapley)` over a universal broadcast tree.
 #[derive(Debug, Clone)]
@@ -30,6 +30,16 @@ impl UniversalShapleyMechanism {
     /// The universal tree in use.
     pub fn universal_tree(&self) -> &UniversalTree {
         &self.tree
+    }
+
+    /// Start a live churn session over this mechanism's universal tree:
+    /// the warm-state engine that re-runs the Moulin–Shenker drop loop
+    /// from the surviving receiver set across `Join`/`Leave`/`Rebid`
+    /// batches, byte-identical to a cold
+    /// [`wmcs_wireless::shapley_drop_run_from`] on the current receiver
+    /// set after every batch.
+    pub fn session(&self) -> ShapleySession<'_> {
+        ShapleySession::new(&self.tree)
     }
 
     /// The power assignment that serves the given outcome's receivers.
@@ -117,6 +127,29 @@ mod tests {
                 find_group_deviation(&m, &u, 2, 1e-7).is_none(),
                 "seed {seed}: group deviation found"
             );
+        }
+    }
+
+    #[test]
+    fn session_with_everyone_joined_matches_the_one_shot_run() {
+        // A session whose only batch joins every player with the same
+        // bids is exactly the one-shot mechanism: same receivers, same
+        // shares, same served cost, byte for byte.
+        for seed in 10..14 {
+            let m = mechanism(seed, 9);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e5);
+            let u: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let batch: Vec<wmcs_wireless::ChurnEvent> = u
+                .iter()
+                .enumerate()
+                .map(|(player, &utility)| wmcs_wireless::ChurnEvent::Join { player, utility })
+                .collect();
+            let mut session = m.session();
+            let live = session.apply_batch(&batch);
+            let one_shot = m.run(&u);
+            assert_eq!(live.receivers, one_shot.receivers, "seed {seed}");
+            assert_eq!(live.shares, one_shot.shares, "seed {seed}");
+            assert_eq!(live.served_cost, one_shot.served_cost, "seed {seed}");
         }
     }
 

@@ -15,6 +15,25 @@
 //! coalition (a `u64` mask, an incremental tree engine, …) and is told
 //! exactly which players drop, which lets incremental implementations
 //! update in `O(affected path)` instead of recomputing from scratch.
+//!
+//! Two entry points share one loop body:
+//!
+//! | entry point | initial coalition | caller |
+//! |---|---|---|
+//! | [`run_drop_loop`] | all `n` players (the paper's `U`) | one-shot mechanisms |
+//! | [`run_drop_loop_from`] | an explicit subset | live sessions resuming from a surviving set |
+//!
+//! [`run_drop_loop_from`] is what makes the Moulin–Shenker iteration
+//! *resumable*: a live session (`wmcs-wireless::session`) applies churn
+//! events to its warm method state and restarts the iteration from the
+//! current receiver set instead of from `U`. Invariants the caller must
+//! uphold: the method's internal coalition already mirrors `initial`
+//! exactly, `initial` is strictly ascending, and players outside
+//! `initial` are never re-admitted (the Moulin–Shenker iteration only
+//! ever shrinks the coalition). Per round the driver costs `O(round
+//! shares)` + `O(|initial|)` bookkeeping; the fixpoint outcome is the
+//! maximal affordable sub-coalition of `initial` whenever the method's
+//! shares are cross-monotonic \[37, 38\].
 
 use crate::mechanism::MechanismOutcome;
 use wmcs_geom::EPS;
@@ -62,17 +81,52 @@ pub trait DropLoopMethod {
 /// strategyproof with NPT, VP, CS and (β-approximate) budget balance
 /// \[29, 37, 38\].
 pub fn run_drop_loop(method: &mut impl DropLoopMethod, reported: &[f64]) -> MechanismOutcome {
+    let all: Vec<usize> = (0..method.n_players()).collect();
+    run_drop_loop_from(method, reported, &all)
+}
+
+/// Run the Moulin–Shenker iteration starting from the explicit coalition
+/// `initial` instead of from all players — the resumable entry point a
+/// live session uses to restart the drop loop from its current receiver
+/// set after applying churn events.
+///
+/// Contract (callers must uphold, the driver asserts what it can):
+///
+/// * `initial` is strictly ascending and within `0..n_players`;
+/// * the method's internal coalition state already mirrors `initial`
+///   exactly (for a warm engine: every join/leave since the last run has
+///   been applied; for a cold start: the engine was built on `initial`);
+/// * `reported` is full length — entries outside `initial` are ignored.
+///
+/// Starting from a subset is exact, not approximate: with a
+/// cross-monotonic method the fixpoint is the maximal affordable
+/// sub-coalition of `initial`, and a warm engine whose state equals a
+/// freshly built one produces a byte-identical outcome (the byte-identity
+/// contract `wmcs-wireless::session` is property-tested against).
+pub fn run_drop_loop_from(
+    method: &mut impl DropLoopMethod,
+    reported: &[f64],
+    initial: &[usize],
+) -> MechanismOutcome {
     let n = method.n_players();
     assert_eq!(reported.len(), n, "one reported utility per player");
-    let mut active = vec![true; n];
-    let mut n_active = n;
+    debug_assert!(
+        initial.windows(2).all(|w| w[0] < w[1]),
+        "initial coalition must be strictly ascending"
+    );
+    let mut active = vec![false; n];
+    let mut n_active = initial.len();
+    for &p in initial {
+        assert!(p < n, "initial coalition member {p} out of range");
+        active[p] = true;
+    }
     loop {
         if n_active == 0 {
             return MechanismOutcome::empty(n);
         }
         let shares = method.round_shares();
         let mut dropped_any = false;
-        for p in 0..n {
+        for &p in initial {
             if active[p] && reported[p] < shares[p] - EPS {
                 active[p] = false;
                 n_active -= 1;
@@ -81,7 +135,7 @@ pub fn run_drop_loop(method: &mut impl DropLoopMethod, reported: &[f64]) -> Mech
             }
         }
         if !dropped_any {
-            let receivers: Vec<usize> = (0..n).filter(|&p| active[p]).collect();
+            let receivers: Vec<usize> = initial.iter().copied().filter(|&p| active[p]).collect();
             let fin = method.final_shares(shares);
             let mut final_shares = vec![0.0; n];
             for &p in &receivers {
@@ -186,6 +240,47 @@ mod tests {
         let out = run_drop_loop(&mut m, &[0.0, 0.0]);
         assert!(out.receivers.is_empty());
         assert_eq!(out.revenue(), 0.0);
+        assert_eq!(out.served_cost, 0.0);
+    }
+
+    #[test]
+    fn resuming_from_a_subset_matches_a_cold_start_on_that_subset() {
+        // Airport game, needs 1..=6. Starting the loop from {1, 3, 4}
+        // (method state mirrored by dropping the others up front) must
+        // equal running on a 3-player game containing just those needs.
+        let needs: Vec<f64> = (1..=6).map(|i| i as f64).collect();
+        let u = vec![0.4, 2.0, 0.4, 3.0, 5.0, 0.4];
+        let subset = vec![1usize, 3, 4];
+
+        let mut warm = Airport::new(needs.clone());
+        for p in 0..6 {
+            if !subset.contains(&p) {
+                warm.drop_player(p);
+            }
+        }
+        let out = run_drop_loop_from(&mut warm, &u, &subset);
+
+        // Cold reference: the same airport game restricted to the subset.
+        let mut cold = Airport::new(vec![2.0, 4.0, 5.0]);
+        let cold_out = run_drop_loop(&mut cold, &[2.0, 3.0, 5.0]);
+        let lifted: Vec<usize> = cold_out.receivers.iter().map(|&i| subset[i]).collect();
+        assert_eq!(out.receivers, lifted);
+        for (i, &p) in subset.iter().enumerate() {
+            assert!((out.shares[p] - cold_out.shares[i]).abs() < 1e-12);
+        }
+        assert_eq!(out.served_cost, cold_out.served_cost);
+        // Players outside the initial set are never served or charged.
+        assert_eq!(out.shares[0], 0.0);
+        assert_eq!(out.shares[5], 0.0);
+    }
+
+    #[test]
+    fn resuming_from_the_empty_set_serves_nobody() {
+        let mut m = Airport::new(vec![1.0, 2.0]);
+        m.drop_player(0);
+        m.drop_player(1);
+        let out = run_drop_loop_from(&mut m, &[10.0, 10.0], &[]);
+        assert!(out.receivers.is_empty());
         assert_eq!(out.served_cost, 0.0);
     }
 

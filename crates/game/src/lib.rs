@@ -16,6 +16,10 @@
 // Index loops over multiple parallel arrays are idiomatic in this
 // numeric code; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+// Every public item carries rustdoc: the axioms and conventions of the
+// game layer (player indexing, EPS tolerances, mask semantics) must be
+// readable at the definition site.
+#![deny(missing_docs)]
 
 pub mod checks;
 pub mod core;
@@ -33,7 +37,7 @@ pub use checks::{
     cross_monotonicity_violation, is_nondecreasing, is_submodular, submodularity_violation,
 };
 pub use cost::{CachedCost, CostFunction, ExplicitGame};
-pub use driver::{run_drop_loop, DropLoopMethod};
+pub use driver::{run_drop_loop, run_drop_loop_from, DropLoopMethod};
 pub use mc::{marginal_cost_mechanism, McOutcome};
 pub use mechanism::{
     find_group_deviation, find_unilateral_deviation, verify_budget_balance,

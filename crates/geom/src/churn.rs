@@ -1,0 +1,290 @@
+//! Deterministic churn traces: arrival/departure/rebid event streams for
+//! live multicast sessions.
+//!
+//! A [`ChurnTrace`] is a sequence of event *batches* over a fixed player
+//! universe `0..n_players`. The live-session engines in `wmcs-wireless`
+//! consume one batch at a time and re-price the session between batches;
+//! the generators here are the churn analogue of [`crate::Scenario`]'s
+//! point generators — fully reproducible per seed, so a warm session and
+//! a cold rebuild can be compared byte for byte on the same stream.
+//!
+//! Events use **total semantics** (defined by the session consumers, see
+//! `wmcs-wireless::session`): a `Join` of a player already in the session
+//! acts as a `Rebid`, while `Leave`/`Rebid` of an absent player are
+//! no-ops. The generator therefore never has to know which players the
+//! mechanism itself evicted — its subscription bookkeeping may drift from
+//! the session's served set without producing invalid traces.
+
+use crate::scenario::Scenario;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One churn event over the player universe of a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// Player `player` enters the session reporting `utility` (acts as a
+    /// rebid when the player is already present).
+    Join {
+        /// Joining player index.
+        player: usize,
+        /// Reported utility on entry.
+        utility: f64,
+    },
+    /// Player `player` leaves the session (no-op when absent).
+    Leave {
+        /// Leaving player index.
+        player: usize,
+    },
+    /// Player `player` replaces its reported utility (no-op when absent).
+    Rebid {
+        /// Rebidding player index.
+        player: usize,
+        /// The new reported utility.
+        utility: f64,
+    },
+}
+
+impl ChurnEvent {
+    /// The player the event concerns.
+    pub fn player(&self) -> usize {
+        match *self {
+            ChurnEvent::Join { player, .. }
+            | ChurnEvent::Leave { player }
+            | ChurnEvent::Rebid { player, .. } => player,
+        }
+    }
+}
+
+/// A reproducible sequence of churn-event batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrace {
+    /// Event batches, applied atomically: the session re-prices once per
+    /// batch, after all of the batch's events.
+    pub batches: Vec<Vec<ChurnEvent>>,
+}
+
+impl ChurnTrace {
+    /// Total number of events across all batches.
+    pub fn n_events(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+/// A seedable arrival/departure process that generates [`ChurnTrace`]s.
+///
+/// The process keeps its own subscription view: each event is an arrival
+/// (`Join` of an absent player) with probability [`ChurnProcess::join_bias`],
+/// otherwise a departure or a rebid of a present player (50/50). When
+/// nobody is present the event is forced to an arrival; when everybody
+/// is, to a departure/rebid. Reported utilities are uniform in
+/// `[0, utility_hi)`. Generation is deterministic per
+/// [`ChurnProcess::seed`], mirroring the [`Scenario`] point generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnProcess {
+    /// Size of the player universe (players are `0..n_players`).
+    pub n_players: usize,
+    /// Number of event batches after the warm-up batch.
+    pub batches: usize,
+    /// Events per batch.
+    pub events_per_batch: usize,
+    /// Number of distinct players joined by the warm-up batch (batch 0);
+    /// 0 suppresses the warm-up batch entirely.
+    pub warmup: usize,
+    /// Probability that an event is an arrival (vs departure/rebid).
+    pub join_bias: f64,
+    /// Reported utilities are uniform in `[0, utility_hi)`.
+    pub utility_hi: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl ChurnProcess {
+    /// A balanced process (`join_bias = 0.5`, warm-up joins half the
+    /// universe) with the given shape.
+    pub fn new(
+        n_players: usize,
+        batches: usize,
+        events_per_batch: usize,
+        utility_hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_players >= 1, "a churn process needs at least one player");
+        assert!(events_per_batch >= 1, "batches must carry events");
+        Self {
+            n_players,
+            batches,
+            events_per_batch,
+            warmup: n_players / 2,
+            join_bias: 0.5,
+            utility_hi,
+            seed,
+        }
+    }
+
+    /// Light churn for a scenario's player universe: a handful of events
+    /// per batch regardless of `n` (the "stable session" regime).
+    pub fn light(sc: &Scenario, batches: usize, utility_hi: f64, seed: u64) -> Self {
+        Self::new(
+            sc.n - 1,
+            batches,
+            ((sc.n - 1) / 128).max(2),
+            utility_hi,
+            seed,
+        )
+    }
+
+    /// Heavy churn for a scenario's player universe: a constant fraction
+    /// of the universe churns every batch (the "flash crowd" regime).
+    pub fn heavy(sc: &Scenario, batches: usize, utility_hi: f64, seed: u64) -> Self {
+        Self::new(
+            sc.n - 1,
+            batches,
+            ((sc.n - 1) / 16).max(8),
+            utility_hi,
+            seed,
+        )
+    }
+
+    /// Generate the trace. Deterministic per `self` (including the seed);
+    /// two calls return equal traces.
+    pub fn generate(&self) -> ChurnTrace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.n_players;
+        let mut present = vec![false; n];
+        // Members as a vector for O(1) random choice; `slot[p]` is p's
+        // index in it (usize::MAX when absent).
+        let mut members: Vec<usize> = Vec::with_capacity(n);
+        let mut slot = vec![usize::MAX; n];
+        let mut batches = Vec::with_capacity(self.batches + 1);
+
+        let join = |p: usize,
+                    rng: &mut SmallRng,
+                    present: &mut [bool],
+                    members: &mut Vec<usize>,
+                    slot: &mut [usize]| {
+            present[p] = true;
+            slot[p] = members.len();
+            members.push(p);
+            ChurnEvent::Join {
+                player: p,
+                utility: rng.gen_range(0.0..self.utility_hi),
+            }
+        };
+
+        if self.warmup > 0 {
+            let mut batch = Vec::with_capacity(self.warmup.min(n));
+            while members.len() < self.warmup.min(n) {
+                let p = rng.gen_range(0..n);
+                if !present[p] {
+                    batch.push(join(p, &mut rng, &mut present, &mut members, &mut slot));
+                }
+            }
+            batches.push(batch);
+        }
+
+        for _ in 0..self.batches {
+            let mut batch = Vec::with_capacity(self.events_per_batch);
+            for _ in 0..self.events_per_batch {
+                let arrival = members.is_empty()
+                    || (members.len() < n && rng.gen_range(0.0..1.0) < self.join_bias);
+                if arrival {
+                    let p = loop {
+                        let p = rng.gen_range(0..n);
+                        if !present[p] {
+                            break p;
+                        }
+                    };
+                    batch.push(join(p, &mut rng, &mut present, &mut members, &mut slot));
+                } else {
+                    let p = members[rng.gen_range(0..members.len())];
+                    if rng.gen_bool(0.5) {
+                        // Departure: swap-remove from the member list.
+                        let i = slot[p];
+                        members.swap_remove(i);
+                        if let Some(&moved) = members.get(i) {
+                            slot[moved] = i;
+                        }
+                        slot[p] = usize::MAX;
+                        present[p] = false;
+                        batch.push(ChurnEvent::Leave { player: p });
+                    } else {
+                        batch.push(ChurnEvent::Rebid {
+                            player: p,
+                            utility: rng.gen_range(0.0..self.utility_hi),
+                        });
+                    }
+                }
+            }
+            batches.push(batch);
+        }
+        ChurnTrace { batches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::LayoutFamily;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = ChurnProcess::new(40, 8, 6, 5.0, 17);
+        assert_eq!(p.generate(), p.generate());
+        let q = ChurnProcess { seed: 18, ..p };
+        assert_ne!(p.generate(), q.generate());
+    }
+
+    #[test]
+    fn traces_have_the_requested_shape() {
+        let p = ChurnProcess::new(30, 5, 4, 1.0, 3);
+        let t = p.generate();
+        assert_eq!(t.batches.len(), 6, "warm-up batch + 5 churn batches");
+        assert_eq!(t.batches[0].len(), 15, "warm-up joins half the universe");
+        for b in &t.batches[1..] {
+            assert_eq!(b.len(), 4);
+        }
+        assert_eq!(t.n_events(), 15 + 20);
+
+        let no_warmup = ChurnProcess { warmup: 0, ..p };
+        assert_eq!(no_warmup.generate().batches.len(), 5);
+    }
+
+    #[test]
+    fn events_are_well_formed_under_the_generator_bookkeeping() {
+        // The generator's own subscription view is consistent: joins only
+        // of absent players, leaves/rebids only of present ones, players
+        // in range, utilities in [0, hi).
+        let p = ChurnProcess::new(25, 30, 8, 7.5, 99);
+        let mut present = [false; 25];
+        for batch in &p.generate().batches {
+            for ev in batch {
+                assert!(ev.player() < 25);
+                match *ev {
+                    ChurnEvent::Join { player, utility } => {
+                        assert!(!present[player], "join of a present player");
+                        assert!((0.0..7.5).contains(&utility));
+                        present[player] = true;
+                    }
+                    ChurnEvent::Leave { player } => {
+                        assert!(present[player], "leave of an absent player");
+                        present[player] = false;
+                    }
+                    ChurnEvent::Rebid { player, utility } => {
+                        assert!(present[player], "rebid of an absent player");
+                        assert!((0.0..7.5).contains(&utility));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_rates_scale_with_n() {
+        let small = Scenario::new(LayoutFamily::UniformBox, 64, 2, 2.0);
+        let big = Scenario::new(LayoutFamily::UniformBox, 4096, 2, 2.0);
+        assert_eq!(ChurnProcess::light(&small, 10, 1.0, 0).events_per_batch, 2);
+        assert_eq!(ChurnProcess::light(&big, 10, 1.0, 0).events_per_batch, 31);
+        assert_eq!(ChurnProcess::heavy(&small, 10, 1.0, 0).events_per_batch, 8);
+        assert_eq!(ChurnProcess::heavy(&big, 10, 1.0, 0).events_per_batch, 255);
+    }
+}

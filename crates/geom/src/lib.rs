@@ -16,12 +16,14 @@
 // numeric code; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod churn;
 pub mod float;
 pub mod gen;
 pub mod point;
 pub mod power;
 pub mod scenario;
 
+pub use churn::{ChurnEvent, ChurnProcess, ChurnTrace};
 pub use float::{approx_eq, approx_ge, approx_le, approx_lt, total_cmp_slice, Eps, EPS};
 pub use gen::{InstanceConfig, InstanceKind};
 pub use point::Point;

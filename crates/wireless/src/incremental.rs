@@ -23,16 +23,34 @@
 //!   zeroed" in `O(depth)` via per-station prefix/suffix maxima, instead
 //!   of one full `O(n)` DP per receiver.
 //!
+//! Both structures are also **mutable in place** — the substrate of the
+//! live sessions in [`crate::session`]:
+//!
+//! | operation | cost | invariant |
+//! |---|---|---|
+//! | [`IncrementalShapley::drop_receiver`] | `O(depth)` | state equals a fresh build on the shrunken set |
+//! | [`IncrementalShapley::add_receiver`] | `O(depth + sibling scans)` | state equals a fresh build on the enlarged set |
+//! | [`IncrementalShapley::round_shares_by_station`] | `O(\|T(R)\|)` | the paper's §2.1 split on the current set |
+//! | [`NetWorthOracle::set_utility`] | `O(Σ deg over the dirty path prefix)` | every stored float equals a fresh DP's |
+//! | [`NetWorthOracle::net_worth_zeroing`] | `O(depth)` | agrees with a full DP on the zeroed profile |
+//!
+//! The "equals a fresh build" invariants are what make a warm session
+//! *byte-identical* to a cold rebuild — the property suites
+//! (`tests/incremental_props.rs`, `tests/session_props.rs`) and
+//! experiments T10/T11 pin them.
+//!
 //! Both universal-tree mechanisms in `wmcs-mechanisms` delegate here,
 //! and the drop loop itself is the shared index-set driver
-//! [`wmcs_game::run_drop_loop`] — the same iteration the mask-based
+//! [`wmcs_game::run_drop_loop`] (resumable variant:
+//! [`wmcs_game::run_drop_loop_from`], used by [`shapley_drop_run_from`]
+//! and the sessions) — the same iteration the mask-based
 //! [`wmcs_game::moulin_shenker`] (n ≤ 64) routes through, so the two
 //! cannot diverge on EPS conventions. [`reference_drop_run`] preserves
 //! the naive per-round recomputation as the correctness reference; the
 //! property suite pins the incremental outcome to it byte for byte.
 
 use crate::universal::UniversalTree;
-use wmcs_game::{run_drop_loop, DropLoopMethod, MechanismOutcome};
+use wmcs_game::{run_drop_loop, run_drop_loop_from, DropLoopMethod, MechanismOutcome};
 
 /// Sentinel for "no station" in the intrusive sibling lists.
 const NONE: usize = usize::MAX;
@@ -51,7 +69,7 @@ pub struct DropStats {
 /// the active receiver set, `T(R)` membership via subtree receiver
 /// counts, and the active children of every station in ascending
 /// edge-cost order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IncrementalShapley<'a> {
     ut: &'a UniversalTree,
     /// Parent station in the universal tree (`NONE` for the source).
@@ -67,6 +85,9 @@ pub struct IncrementalShapley<'a> {
     first_child: Vec<usize>,
     next_sib: Vec<usize>,
     prev_sib: Vec<usize>,
+    /// Index of each station within its parent's cost-sorted children
+    /// (splice point for [`IncrementalShapley::add_receiver`]).
+    pos_in_parent: Vec<usize>,
     /// Scratch: accumulated root-path share prefix per station.
     down: Vec<f64>,
     /// Scratch: per-station shares of the last round.
@@ -109,8 +130,12 @@ impl<'a> IncrementalShapley<'a> {
         let mut first_child = vec![NONE; n];
         let mut next_sib = vec![NONE; n];
         let mut prev_sib = vec![NONE; n];
+        let mut pos_in_parent = vec![0usize; n];
         for v in 0..n {
             let mut prev = NONE;
+            for (j, &y) in cs[v].iter().enumerate() {
+                pos_in_parent[y] = j;
+            }
             for &y in cs[v].iter().filter(|&&y| rb[y] > 0) {
                 if prev == NONE {
                     first_child[v] = y;
@@ -129,6 +154,7 @@ impl<'a> IncrementalShapley<'a> {
             first_child,
             next_sib,
             prev_sib,
+            pos_in_parent,
             down: vec![0.0; n],
             shares: vec![0.0; n],
             stack: Vec::with_capacity(n),
@@ -206,9 +232,68 @@ impl<'a> IncrementalShapley<'a> {
         }
     }
 
+    /// Add receiver `r` (the inverse of [`IncrementalShapley::drop_receiver`],
+    /// used by live sessions to serve `Join` events from warm state):
+    /// increment the subtree counts on its root path and splice stations
+    /// whose subtree just became non-empty into their parent's
+    /// active-children list at the cost-ordered position. `O(depth of r +
+    /// Σ sibling scans)`; the resulting state is identical to rebuilding
+    /// the engine from scratch on the enlarged receiver set, which is what
+    /// keeps a warm session byte-identical to a cold start.
+    pub fn add_receiver(&mut self, r: usize) {
+        debug_assert!(!self.in_r[r], "station {r} is already an active receiver");
+        assert!(
+            r != self.ut.network().source(),
+            "the source cannot be a receiver"
+        );
+        let ut = self.ut;
+        self.in_r[r] = true;
+        let mut v = r;
+        loop {
+            self.rb[v] += 1;
+            let p = self.parent[v];
+            if p == NONE {
+                break;
+            }
+            if self.rb[v] == 1 {
+                // v entered T(R): splice it into p's active children just
+                // after its nearest active cost-order predecessor.
+                let kids = &ut.children_sorted()[p];
+                let mut pr = NONE;
+                for &y in kids[..self.pos_in_parent[v]].iter().rev() {
+                    if self.rb[y] > 0 {
+                        pr = y;
+                        break;
+                    }
+                }
+                let nx = if pr == NONE {
+                    self.first_child[p]
+                } else {
+                    self.next_sib[pr]
+                };
+                self.prev_sib[v] = pr;
+                self.next_sib[v] = nx;
+                if pr == NONE {
+                    self.first_child[p] = v;
+                } else {
+                    self.next_sib[pr] = v;
+                }
+                if nx != NONE {
+                    self.prev_sib[nx] = v;
+                }
+            }
+            v = p;
+        }
+    }
+
     /// The currently-active receiver stations, ascending.
     pub fn active_stations(&self) -> Vec<usize> {
         (0..self.in_r.len()).filter(|&v| self.in_r[v]).collect()
+    }
+
+    /// Is station `v` currently an active receiver?
+    pub fn is_active(&self, v: usize) -> bool {
+        self.in_r[v]
     }
 
     /// Rounds executed so far.
@@ -217,13 +302,16 @@ impl<'a> IncrementalShapley<'a> {
     }
 }
 
-/// Player-indexed [`DropLoopMethod`] over the incremental engine: the
-/// driver speaks player ids, the engine speaks station ids.
-struct PlayerAdapter<'a> {
-    engine: IncrementalShapley<'a>,
+/// Player-indexed [`DropLoopMethod`] over a borrowed incremental engine:
+/// the driver speaks player ids, the engine speaks station ids. Borrowing
+/// (rather than owning) the engine is what lets a live session
+/// ([`crate::session::ShapleySession`]) keep the same engine warm across
+/// many drop-loop runs.
+pub(crate) struct PlayerAdapter<'e, 'a> {
+    pub(crate) engine: &'e mut IncrementalShapley<'a>,
 }
 
-impl DropLoopMethod for PlayerAdapter<'_> {
+impl DropLoopMethod for PlayerAdapter<'_, '_> {
     fn n_players(&self) -> usize {
         self.engine.ut.network().n_players()
     }
@@ -276,15 +364,43 @@ pub fn shapley_drop_run_with_stats(
     reported: &[f64],
 ) -> (MechanismOutcome, DropStats) {
     let receivers = ut.network().non_source_stations();
-    let mut method = PlayerAdapter {
-        engine: IncrementalShapley::new(ut, &receivers),
-    };
-    let out = run_drop_loop(&mut method, reported);
+    let mut engine = IncrementalShapley::new(ut, &receivers);
+    let out = run_drop_loop(
+        &mut PlayerAdapter {
+            engine: &mut engine,
+        },
+        reported,
+    );
     let stats = DropStats {
-        rounds: method.engine.rounds(),
+        rounds: engine.rounds(),
         dropped: reported.len() - out.receivers.len(),
     };
     (out, stats)
+}
+
+/// Cold-start a Moulin–Shenker run from an explicit **player** subset:
+/// build a fresh engine on exactly those receivers and run the drop loop
+/// from them (not from `U`). This is the from-scratch reference a warm
+/// [`crate::session::ShapleySession`] must match byte for byte after
+/// every churn batch, and the "cold" side of the `session_churn` bench.
+///
+/// `players` must be strictly ascending; `reported` is full length
+/// (entries outside `players` are ignored).
+pub fn shapley_drop_run_from(
+    ut: &UniversalTree,
+    reported: &[f64],
+    players: &[usize],
+) -> MechanismOutcome {
+    let net = ut.network();
+    let stations: Vec<usize> = players.iter().map(|&p| net.station_of_player(p)).collect();
+    let mut engine = IncrementalShapley::new(ut, &stations);
+    run_drop_loop_from(
+        &mut PlayerAdapter {
+            engine: &mut engine,
+        },
+        reported,
+        players,
+    )
 }
 
 /// The naive pre-incremental driver: every round recomputes the full
@@ -344,7 +460,7 @@ pub fn reference_drop_run(ut: &UniversalTree, reported: &[f64]) -> MechanismOutc
 /// Value comparisons are exact (total order, larger prefix only on true
 /// ties), fixing the EPS drift that could return a set disagreeing with
 /// the reported net worth.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NetWorthOracle<'a> {
     ut: &'a UniversalTree,
     /// Utilities by station, as given (the DP clamps at 0 on use).
@@ -369,7 +485,6 @@ impl<'a> NetWorthOracle<'a> {
         let net = ut.network();
         let n = net.n_stations();
         assert_eq!(u.len(), n);
-        let s = net.source();
         let cs = ut.children_sorted();
         let mut pos_in_parent = vec![0usize; n];
         for kids in cs {
@@ -377,58 +492,113 @@ impl<'a> NetWorthOracle<'a> {
                 pos_in_parent[y] = j;
             }
         }
-        let mut h = vec![0.0f64; n];
-        let mut best = vec![0.0f64; n];
-        let mut choice = vec![0usize; n];
-        let mut pre = vec![Vec::new(); n];
-        let mut suf = vec![Vec::new(); n];
-        let order = ut.tree().bfs_order();
-        for &v in order.iter().rev() {
-            let kids = &cs[v];
-            let k = kids.len();
-            let own = if v == s { 0.0 } else { u[v].max(0.0) };
-            let mut vals = Vec::with_capacity(k);
-            let mut acc = 0.0f64;
-            for &y in kids {
-                acc += h[y];
-                vals.push(acc - net.cost(v, y));
-            }
-            // Exact total order on value; larger prefix on true ties.
-            let mut b = 0.0f64;
-            let mut bj = 0usize;
-            for (j, &val) in vals.iter().enumerate() {
-                if val >= b {
-                    b = val;
-                    bj = j + 1;
-                }
-            }
-            let mut pre_v = vec![0.0f64; k];
-            for j in 1..k {
-                pre_v[j] = pre_v[j - 1].max(vals[j - 1]);
-            }
-            let mut suf_v = vec![f64::NEG_INFINITY; k];
-            for j in (0..k).rev() {
-                suf_v[j] = match suf_v.get(j + 1) {
-                    Some(&next) => vals[j].max(next),
-                    None => vals[j],
-                };
-            }
-            h[v] = own + b;
-            best[v] = b;
-            choice[v] = bj;
-            pre[v] = pre_v;
-            suf[v] = suf_v;
-        }
-        Self {
+        let mut oracle = Self {
             ut,
             u: u.to_vec(),
-            h,
-            best,
-            choice,
-            pre,
-            suf,
+            h: vec![0.0f64; n],
+            best: vec![0.0f64; n],
+            choice: vec![0usize; n],
+            pre: vec![Vec::new(); n],
+            suf: vec![Vec::new(); n],
             pos_in_parent,
+        };
+        let order = ut.tree().bfs_order();
+        for &v in order.iter().rev() {
+            oracle.recompute_station(v);
         }
+        oracle
+    }
+
+    /// Recompute every stored DP quantity at station `v` from its
+    /// children's current `h` values — the per-station kernel shared by
+    /// the full bottom-up pass ([`NetWorthOracle::new`]) and the `O(path)`
+    /// utility update ([`NetWorthOracle::set_utility`]). Sharing one
+    /// kernel is what makes an updated oracle *byte-identical* to a
+    /// freshly built one: both run the same arithmetic on the same
+    /// inputs. `O(children of v)`.
+    fn recompute_station(&mut self, v: usize) {
+        let ut = self.ut;
+        let net = ut.network();
+        let s = net.source();
+        let kids = &ut.children_sorted()[v];
+        let k = kids.len();
+        let own = if v == s { 0.0 } else { self.u[v].max(0.0) };
+        let mut vals = Vec::with_capacity(k);
+        let mut acc = 0.0f64;
+        for &y in kids {
+            acc += self.h[y];
+            vals.push(acc - net.cost(v, y));
+        }
+        // Exact total order on value; larger prefix on true ties.
+        let mut b = 0.0f64;
+        let mut bj = 0usize;
+        for (j, &val) in vals.iter().enumerate() {
+            if val >= b {
+                b = val;
+                bj = j + 1;
+            }
+        }
+        let mut pre_v = vec![0.0f64; k];
+        for j in 1..k {
+            pre_v[j] = pre_v[j - 1].max(vals[j - 1]);
+        }
+        let mut suf_v = vec![f64::NEG_INFINITY; k];
+        for j in (0..k).rev() {
+            suf_v[j] = match suf_v.get(j + 1) {
+                Some(&next) => vals[j].max(next),
+                None => vals[j],
+            };
+        }
+        self.h[v] = own + b;
+        self.best[v] = b;
+        self.choice[v] = bj;
+        self.pre[v] = pre_v;
+        self.suf[v] = suf_v;
+    }
+
+    /// Replace station `x`'s utility and repair the DP along `x`'s root
+    /// path — the warm-state analogue of rebuilding the oracle on the
+    /// modified profile, used by [`crate::session::McSession`] to absorb
+    /// churn events. Costs `O(Σ children over the dirty prefix of the
+    /// path)` and stops as soon as an ancestor's `h` is unchanged (its
+    /// parent only sees `h`). The updated oracle equals
+    /// `NetWorthOracle::new(ut, modified_u)` in every stored float.
+    pub fn set_utility(&mut self, x: usize, utility: f64) {
+        let s = self.ut.network().source();
+        assert!(x != s, "the source has no utility");
+        self.u[x] = utility;
+        // x's own prefix arrays depend only on its children, which are
+        // untouched — only own(x) changes.
+        let old = self.h[x];
+        self.h[x] = utility.max(0.0) + self.best[x];
+        if self.h[x] == old {
+            return;
+        }
+        let mut v = x;
+        while v != s {
+            let p = self
+                .ut
+                .tree()
+                .parent(v)
+                .expect("non-source station has a parent");
+            let before = self.h[p];
+            self.recompute_station(p);
+            if self.h[p] == before {
+                return;
+            }
+            v = p;
+        }
+    }
+
+    /// Station `x`'s current utility as stored by the oracle.
+    pub fn utility(&self, x: usize) -> f64 {
+        self.u[x]
+    }
+
+    /// The full station-indexed utility vector the oracle currently
+    /// holds (what a cold `NetWorthOracle::new` rebuild would consume).
+    pub fn utilities(&self) -> &[f64] {
+        &self.u
     }
 
     /// Maximal net worth `NW(u)`.
@@ -554,6 +724,104 @@ mod tests {
                         "seed {seed}, alive {alive:?}, station {r}: {} ≠ {}",
                         fast[r],
                         reference[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_drop_walk_matches_recomputation_from_scratch() {
+        // A random join/leave walk over the receiver set: after every
+        // step the engine's round shares must equal the reference split
+        // on the current set, and joins must exactly invert drops.
+        for seed in 0..20 {
+            let ut = random_tree(seed, 14);
+            let all = ut.network().non_source_stations();
+            let mut engine = IncrementalShapley::new(&ut, &[]);
+            let mut alive: Vec<usize> = Vec::new();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xadd);
+            for _step in 0..60 {
+                if alive.is_empty() || (alive.len() < all.len() && rng.gen_bool(0.5)) {
+                    let candidates: Vec<usize> =
+                        all.iter().copied().filter(|v| !alive.contains(v)).collect();
+                    let v = candidates[rng.gen_range(0..candidates.len())];
+                    engine.add_receiver(v);
+                    alive.push(v);
+                } else {
+                    let v = alive.remove(rng.gen_range(0..alive.len()));
+                    engine.drop_receiver(v);
+                }
+                if alive.is_empty() {
+                    continue;
+                }
+                let fast = engine.round_shares_by_station().to_vec();
+                let reference = ut.shapley_shares(&alive);
+                for &r in &alive {
+                    assert!(
+                        approx_eq(fast[r], reference[r]),
+                        "seed {seed}, alive {alive:?}, station {r}: {} ≠ {}",
+                        fast[r],
+                        reference[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_run_from_subset_matches_cold_engine_on_that_subset() {
+        for seed in 0..20 {
+            let ut = random_tree(seed, 11);
+            let n = ut.network().n_players();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5b5e7);
+            let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let players: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.6)).collect();
+            let out = shapley_drop_run_from(&ut, &u, &players);
+            // Every receiver came from the initial subset and affords its
+            // share; the full-set run is the players == all special case.
+            assert!(out.receivers.iter().all(|p| players.contains(p)));
+            for &p in &out.receivers {
+                assert!(u[p] >= out.shares[p] - wmcs_geom::EPS);
+            }
+            let all: Vec<usize> = (0..n).collect();
+            let from_all = shapley_drop_run_from(&ut, &u, &all);
+            let plain = shapley_drop_run(&ut, &u);
+            assert_eq!(from_all.receivers, plain.receivers, "seed {seed}");
+            assert_eq!(from_all.shares, plain.shares, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn set_utility_repairs_the_oracle_byte_for_byte() {
+        for seed in 0..20 {
+            let ut = random_tree(seed, 12);
+            let n = ut.network().n_stations();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e7);
+            let mut u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..8.0)).collect();
+            let mut warm = NetWorthOracle::new(&ut, &u);
+            for _event in 0..25 {
+                let x = loop {
+                    let x = rng.gen_range(0..n);
+                    if x != ut.network().source() {
+                        break x;
+                    }
+                };
+                let v = if rng.gen_bool(0.3) {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..8.0)
+                };
+                u[x] = v;
+                warm.set_utility(x, v);
+                let cold = NetWorthOracle::new(&ut, &u);
+                assert_eq!(warm.net_worth(), cold.net_worth(), "seed {seed}");
+                assert_eq!(warm.efficient_set(), cold.efficient_set(), "seed {seed}");
+                for y in ut.network().non_source_stations() {
+                    assert_eq!(
+                        warm.net_worth_zeroing(y),
+                        cold.net_worth_zeroing(y),
+                        "seed {seed}, station {y}"
                     );
                 }
             }

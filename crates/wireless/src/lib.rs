@@ -12,6 +12,9 @@
 //! * [`incremental`] — the incremental Moulin–Shenker engine and the
 //!   `O(depth)`-per-query VCG net-worth oracle that scale both §2.1
 //!   mechanisms to thousands of stations;
+//! * [`session`] — live multicast sessions: both §2.1 mechanisms served
+//!   across a churn stream (join/leave/rebid) from warm state,
+//!   byte-identical to a cold rebuild after every batch;
 //! * [`memt`] — exact minimum-energy multicast (set-state Dijkstra) and the
 //!   all-subsets `C*` table, the optimum reference for every β-BB claim;
 //! * [`mst_heuristic`] — the MST broadcast heuristic \[50\] and the KMB
@@ -24,6 +27,10 @@
 // Index loops over multiple parallel arrays are idiomatic in this
 // numeric code; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+// Every public item carries rustdoc: this crate is the substrate other
+// layers build mechanisms on, and undocumented invariants here become
+// silent contract drift there.
+#![deny(missing_docs)]
 
 pub mod bip;
 pub mod euclidean;
@@ -32,18 +39,20 @@ pub mod memt;
 pub mod mst_heuristic;
 pub mod network;
 pub mod power;
+pub mod session;
 pub mod universal;
 
 pub use bip::{bip_broadcast, mip_multicast};
 pub use euclidean::{AlphaOneCost, AlphaOneSolver, LineCost, LineSolver};
 pub use incremental::{
-    reference_drop_run, shapley_drop_run, shapley_drop_run_with_stats, DropStats,
-    IncrementalShapley, NetWorthOracle,
+    reference_drop_run, shapley_drop_run, shapley_drop_run_from, shapley_drop_run_with_stats,
+    DropStats, IncrementalShapley, NetWorthOracle,
 };
 pub use memt::{memt_exact, MemtCostTable, OptimalMulticastCost, MAX_EXACT_STATIONS};
 pub use mst_heuristic::{mst_broadcast, mst_multicast, steiner_multicast};
 pub use network::WirelessNetwork;
 pub use power::PowerAssignment;
+pub use session::{vcg_outcome, ChurnEvent, ChurnProcess, ChurnTrace, McSession, ShapleySession};
 pub use universal::{UniversalTree, UniversalTreeCost};
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ pub mod prelude {
     };
     pub use wmcs_nwst::{NodeWeightedGraph, NwstConfig};
     pub use wmcs_wireless::{
-        memt_exact, AlphaOneSolver, LineSolver, PowerAssignment, UniversalTree, WirelessNetwork,
+        memt_exact, AlphaOneSolver, ChurnEvent, ChurnProcess, ChurnTrace, LineSolver, McSession,
+        PowerAssignment, ShapleySession, UniversalTree, WirelessNetwork,
     };
 }

@@ -1,8 +1,8 @@
-//! Smoke tests pinning the core code path of each of the six `examples/`,
-//! so the examples cannot silently rot: every load-bearing assertion an
-//! example makes when run as a binary is re-asserted here under
-//! `cargo test` (the example sources themselves are compile-checked by
-//! `cargo build --examples` / CI).
+//! Smoke tests pinning the core code path of each of the seven
+//! `examples/`, so the examples cannot silently rot: every load-bearing
+//! assertion an example makes when run as a binary is re-asserted here
+//! under `cargo test` (the example sources themselves are compile-checked
+//! by `cargo build --examples` / CI).
 
 use multicast_cost_sharing::game::{core_allocation, submodularity_violation};
 use multicast_cost_sharing::prelude::*;
@@ -180,6 +180,56 @@ fn campus_broadcast_shapley_exact_mc_deficit() {
             "MC never runs a surplus"
         );
     }
+}
+
+/// `examples/live_session.rs`: across the example's churn trace the warm
+/// Shapley session stays byte-identical to a cold rebuild on the current
+/// receiver set and exactly budget balanced after every batch, and the
+/// MC session agrees with the one-shot MC mechanism on the same bids.
+#[test]
+fn live_session_warm_equals_cold_and_balances_every_batch() {
+    use multicast_cost_sharing::wireless::shapley_drop_run_from;
+
+    let cfg = InstanceConfig {
+        n: 24,
+        dim: 2,
+        kind: InstanceKind::Grid { spacing: 2.0 },
+        seed: 11,
+    };
+    let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
+    let n = net.n_players();
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
+    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(net));
+    let trace = ChurnProcess::new(n, 8, 4, 25.0, 2026).generate();
+
+    let mut live = shapley.session();
+    let mut welfare_view = mc.session();
+    let mut served_any = false;
+    for batch in &trace.batches {
+        live.apply_events(batch);
+        let candidates = live.active_players();
+        let bids = live.reported_profile();
+        let out = live.reprice();
+        let cold = shapley_drop_run_from(shapley.universal_tree(), &bids, &candidates);
+        assert_eq!(out.receivers, cold.receivers, "warm/cold receiver drift");
+        assert_eq!(out.shares, cold.shares, "warm/cold share drift");
+        assert_eq!(out.served_cost, cold.served_cost, "warm/cold cost drift");
+        assert!(
+            (out.revenue() - out.served_cost).abs() <= 1e-9 * (1.0 + out.served_cost),
+            "session batch must be exactly budget balanced"
+        );
+        served_any |= !out.receivers.is_empty();
+
+        let eff = welfare_view.apply_batch(batch);
+        let one_shot = mc.run(&welfare_view.reported_profile());
+        assert_eq!(eff.receivers, one_shot.receivers);
+        assert_eq!(eff.shares, one_shot.shares);
+    }
+    assert!(
+        served_any,
+        "the example's trace must actually serve someone"
+    );
+    assert_eq!(live.n_events(), trace.n_events());
 }
 
 /// `examples/disaster_relief.rs`: on the clustered instance the Steiner
