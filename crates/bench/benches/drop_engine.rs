@@ -24,7 +24,7 @@ use wmcs_wireless::UniversalTree;
 /// cascades instead of terminating in one round.
 fn setup(n: usize) -> (UniversalTree, Vec<f64>) {
     let net = random_euclidean(42, n, 2.0, 10.0);
-    let ut = UniversalTree::shortest_path_tree(net);
+    let ut = UniversalTree::shortest_path_tree(&net);
     let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
     let u = random_utilities(
         43,

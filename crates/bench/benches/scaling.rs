@@ -18,7 +18,7 @@ fn universal_shapley(c: &mut Criterion) {
     let mut g = c.benchmark_group("universal_shapley_mechanism");
     for &n in &[50usize, 100, 200] {
         let net = random_euclidean(7, n, 2.0, 40.0);
-        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net));
+        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
         let u = random_utilities(11, n - 1, 300.0);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mech.run(&u))
@@ -31,7 +31,7 @@ fn universal_mc(c: &mut Criterion) {
     let mut g = c.benchmark_group("universal_mc_mechanism");
     for &n in &[50usize, 100, 200] {
         let net = random_euclidean(8, n, 2.0, 40.0);
-        let mech = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net));
+        let mech = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
         let u = random_utilities(12, n - 1, 300.0);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mech.run(&u))
@@ -44,7 +44,7 @@ fn jv_steiner_mechanism(c: &mut Criterion) {
     let mut g = c.benchmark_group("jv_steiner_mechanism");
     for &n in &[20usize, 40, 80] {
         let net = random_euclidean(9, n, 2.0, 20.0);
-        let mech = EuclideanSteinerMechanism::new(net);
+        let mech = EuclideanSteinerMechanism::new(&net);
         let u = random_utilities(13, n - 1, 100.0);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mech.run(&u))
@@ -58,7 +58,7 @@ fn wireless_mechanism(c: &mut Criterion) {
     g.sample_size(10);
     for &n in &[6usize, 8, 10] {
         let net = random_euclidean(10, n, 2.0, 8.0);
-        let mech = WirelessMulticastMechanism::new(net);
+        let mech = WirelessMulticastMechanism::new(&net);
         let u = random_utilities(14, n - 1, 60.0);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mech.run(&u))
@@ -84,7 +84,7 @@ fn line_solver(c: &mut Criterion) {
     let mut g = c.benchmark_group("line_chain_solver");
     for &n in &[100usize, 400] {
         let net = random_line(16, n, 2.0, 200.0);
-        let solver = LineSolver::new(net.clone());
+        let solver = LineSolver::new(&net);
         let targets: Vec<usize> = (0..n).filter(|&x| x != net.source()).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| solver.solve(&targets))

@@ -41,7 +41,7 @@ use wmcs_wireless::UniversalTree;
 /// to the per-player broadcast cost (the T10/T11 regime).
 fn setup(n: usize) -> (UniversalTree, ChurnTrace) {
     let net = random_euclidean(42, n, 2.0, 10.0);
-    let ut = UniversalTree::shortest_path_tree(net);
+    let ut = UniversalTree::shortest_path_tree(&net);
     let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
     let hi = 2.0 * broadcast / (n - 1) as f64;
     let trace = ChurnProcess::new(n - 1, 16, ((n - 1) / 64).max(4), hi, 43).generate();
@@ -50,7 +50,7 @@ fn setup(n: usize) -> (UniversalTree, ChurnTrace) {
 
 /// A session with the warm-up batch (batch 0) already absorbed and
 /// repriced — the steady state every timed variant starts from.
-fn warmed_session<'a>(ut: &'a UniversalTree, trace: &ChurnTrace) -> ShapleySession<'a> {
+fn warmed_session(ut: &UniversalTree, trace: &ChurnTrace) -> ShapleySession {
     let mut session = ShapleySession::new(ut);
     session.apply_batch(&trace.batches[0]);
     session

@@ -1,0 +1,7 @@
+//! Regenerate experiment T12 (see EXPERIMENTS.md) over its full scenario
+//! matrix — the sharded multi-group service layer serving G ≤ 64
+//! concurrent groups per shared substrate. Usage:
+//! `table_service [SEEDS] [--json]`.
+fn main() {
+    wmcs_bench::cli::table_main("T12");
+}

@@ -20,9 +20,9 @@ pub struct T1;
 /// deviations].
 fn one_tree(net: &WirelessNetwork, seed: u64, use_mst: bool) -> [f64; 5] {
     let ut = if use_mst {
-        UniversalTree::mst_tree(net.clone())
+        UniversalTree::mst_tree(net)
     } else {
-        UniversalTree::shortest_path_tree(net.clone())
+        UniversalTree::shortest_path_tree(net)
     };
     let cost = UniversalTreeCost::new(ut.clone());
     let game = ExplicitGame::tabulate(&cost);

@@ -69,7 +69,7 @@ impl Experiment for T11 {
 
     fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
         let net = scenario_network(scenario, seed);
-        let ut = UniversalTree::shortest_path_tree(net);
+        let ut = UniversalTree::shortest_path_tree(&net);
         let net = ut.network();
         let n_players = net.n_players();
         // Bids scaled to the per-player broadcast cost so traces mix

@@ -56,7 +56,7 @@ impl Experiment for T3 {
 
     fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
         let net = scenario_network(scenario, seed);
-        let mech = WirelessMulticastMechanism::new(net.clone());
+        let mech = WirelessMulticastMechanism::new(&net);
         let k = net.n_players();
         let all_stations: Vec<usize> = (0..net.n_stations())
             .filter(|&x| x != net.source())

@@ -21,7 +21,7 @@ pub struct T4;
 
 /// `α = 1` observation: [exact match, submodular, Shapley BB ratio].
 fn alpha_one(net: WirelessNetwork) -> Obs {
-    let solver = AlphaOneSolver::new(net.clone());
+    let solver = AlphaOneSolver::new(&net);
     let all: Vec<usize> = (0..net.n_stations())
         .filter(|&x| x != net.source())
         .collect();
@@ -29,7 +29,7 @@ fn alpha_one(net: WirelessNetwork) -> Obs {
     let exact_match = (solver.optimal_cost(&all) - opt).abs() < 1e-6 * opt.max(1.0);
     let game = ExplicitGame::tabulate(&AlphaOneCost::new(solver));
     let submodular = is_submodular(&game);
-    let mech = AlphaOneShapleyMechanism::new(AlphaOneSolver::new(net));
+    let mech = AlphaOneShapleyMechanism::new(AlphaOneSolver::new(&net));
     let out = mech.run(&vec![1e9; game.n_players()]);
     vec![
         f64::from(exact_match),
@@ -40,7 +40,7 @@ fn alpha_one(net: WirelessNetwork) -> Obs {
 
 /// `d = 1` observation: [chain gap, chain submodular, Shapley β vs C*].
 fn line(net: WirelessNetwork) -> Obs {
-    let solver = LineSolver::new(net.clone());
+    let solver = LineSolver::new(&net);
     let all: Vec<usize> = (0..net.n_stations())
         .filter(|&x| x != net.source())
         .collect();
@@ -49,7 +49,7 @@ fn line(net: WirelessNetwork) -> Obs {
     let chain_gap = chain / opt - 1.0;
     let game = ExplicitGame::tabulate(&LineCost::new(solver));
     let submodular_chain = is_submodular(&game);
-    let mech = LineShapleyMechanism::new(LineSolver::new(net));
+    let mech = LineShapleyMechanism::new(LineSolver::new(&net));
     let out = mech.run(&vec![1e9; game.n_players()]);
     vec![chain_gap, f64::from(submodular_chain), out.revenue() / opt]
 }

@@ -62,7 +62,7 @@ impl Experiment for T7 {
     fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
         let n = scenario.n;
         let net = scenario_network(scenario, seed);
-        let mech = EuclideanSteinerMechanism::new(net.clone());
+        let mech = EuclideanSteinerMechanism::new(&net);
         let k = net.n_players();
         let all: Vec<usize> = (1..n).collect();
         let (opt, _) = memt_exact(&net, &all);

@@ -15,14 +15,24 @@
 //!   `table_wireless_bb` (T3), `table_euclidean_optimal` (T4),
 //!   `table_submodularity_violations` (T5), `table_mst_ratio` (T6),
 //!   `table_jv_bb` (T7), `table_eq5_ablation` (T9), `table_scaling`
-//!   (T10, the incremental-engine n ≤ 4096 scaling table) and
-//!   `table_churn` (T11, the live-session churn table) — each a thin
-//!   [`cli::table_main`] shim — plus `all_experiments` to sweep the whole
-//!   registry and `bench_compare` to diff two summary files;
+//!   (T10, the incremental-engine n ≤ 4096 scaling table),
+//!   `table_churn` (T11, the live-session churn table) and
+//!   `table_service` (T12, the sharded multi-group service table) —
+//!   each a thin [`cli::table_main`] shim — plus `all_experiments` to
+//!   sweep the whole registry and `bench_compare` to diff two summary
+//!   files;
 //! * criterion benches (`cargo bench`): timing/scaling of every
 //!   mechanism and substrate (T8), plus `drop_engine` pitting the naive
-//!   drop loop against the incremental engine and `session_churn`
-//!   pitting warm live sessions against cold per-batch rebuilds.
+//!   drop loop against the incremental engine, `session_churn` pitting
+//!   warm live sessions against cold per-batch rebuilds, and
+//!   `service_throughput` pitting the sharded multi-group service
+//!   against single-thread and per-group cold servings at
+//!   G = 1024 × n = 4096.
+
+// Every public item carries rustdoc: substrate crates feed the
+// mechanism layers above them, and undocumented invariants become
+// silent contract drift there.
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod compare;

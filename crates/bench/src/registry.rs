@@ -90,6 +90,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiments::t9::T9,
     &crate::experiments::t10::T10,
     &crate::experiments::t11::T11,
+    &crate::experiments::t12::T12,
 ];
 
 /// Resolve an experiment by id (case-insensitive).

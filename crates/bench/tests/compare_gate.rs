@@ -73,6 +73,50 @@ fn bench_compare_binary_gates_verdict_drift() {
 }
 
 #[test]
+fn bench_compare_binary_gates_missing_experiments() {
+    // An experiment present in the baseline but missing from the
+    // candidate sweep is coverage drift and must exit 1 — a PR that
+    // silently drops an experiment (e.g. unregisters it) cannot pass the
+    // gate on verdicts alone.
+    let with_extra = {
+        let base = synthetic_summary(2);
+        // Clone the SYN experiment entry under a second id the candidate
+        // sweep does not produce.
+        let entry_start = base.find(r#""id": "SYN""#).expect("SYN entry");
+        let obj_start = base[..entry_start].rfind('{').expect("entry object");
+        // Entries are pretty-printed objects inside the experiments
+        // array; find this object's end by brace counting.
+        let bytes = base.as_bytes();
+        let mut depth = 0usize;
+        let mut obj_end = obj_start;
+        for (i, &b) in bytes.iter().enumerate().skip(obj_start) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        obj_end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let entry = base[obj_start..obj_end].replace(r#""id": "SYN""#, r#""id": "GONE""#);
+        format!("{}{},\n{}", &base[..obj_start], entry, &base[obj_start..])
+    };
+    // Sanity: identical two-experiment files pass.
+    assert!(run_gate(&with_extra, &with_extra).success());
+    // The candidate sweep lacks GONE: exit 1.
+    let status = run_gate(&with_extra, &synthetic_summary(2));
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "a baseline experiment missing from the candidate must fail the gate"
+    );
+}
+
+#[test]
 fn bench_compare_binary_rejects_bad_input() {
     // Unparseable candidate: exit 2.
     let status = run_gate(&synthetic_summary(2), "not json at all");

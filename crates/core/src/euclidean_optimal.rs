@@ -209,7 +209,7 @@ mod tests {
         let pts: Vec<Point> = (0..n)
             .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
             .collect();
-        AlphaOneSolver::new(WirelessNetwork::euclidean(pts, PowerModel::linear(), 0))
+        AlphaOneSolver::new(&WirelessNetwork::euclidean(pts, PowerModel::linear(), 0))
     }
 
     fn line(seed: u64, n: usize) -> LineSolver {
@@ -217,7 +217,7 @@ mod tests {
         let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..20.0)).collect();
         xs.sort_by(f64::total_cmp);
         let pts: Vec<Point> = xs.into_iter().map(Point::on_line).collect();
-        LineSolver::new(WirelessNetwork::euclidean(
+        LineSolver::new(&WirelessNetwork::euclidean(
             pts,
             PowerModel::free_space(),
             n / 2,

@@ -33,8 +33,8 @@ pub struct SteinerOutcome {
 impl EuclideanSteinerMechanism {
     /// Wrap a Euclidean network (any dimension; the approximation *bound*
     /// requires `α ≥ d`, the mechanism itself runs for any costs).
-    pub fn new(net: WirelessNetwork) -> Self {
-        Self { net }
+    pub fn new(net: &WirelessNetwork) -> Self {
+        Self { net: net.clone() }
     }
 
     /// The underlying network.
@@ -131,7 +131,7 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        EuclideanSteinerMechanism::new(net)
+        EuclideanSteinerMechanism::new(&net)
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! plus the paper's two counterexample instances ([`fig1_instance`],
 //! [`PentagonInstance`]).
 
+// Every public item carries rustdoc: substrate crates feed the
+// mechanism layers above them, and undocumented invariants become
+// silent contract drift there.
+#![deny(missing_docs)]
+
 pub mod euclidean_optimal;
 pub mod euclidean_steiner;
 pub mod instances;

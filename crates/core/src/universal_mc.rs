@@ -39,7 +39,7 @@ impl UniversalMcMechanism {
     /// `Join`/`Leave`/`Rebid` batches, byte-identical to re-running
     /// [`Mechanism::run`] on the current bid vector after every batch
     /// (both evaluate [`wmcs_wireless::vcg_outcome`]).
-    pub fn session(&self) -> McSession<'_> {
+    pub fn session(&self) -> McSession {
         McSession::new(&self.tree)
     }
 
@@ -83,7 +83,7 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net))
+        UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net))
     }
 
     #[test]
@@ -171,7 +171,7 @@ mod tests {
             Point::xy(2.0, 0.0),
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let m = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net));
+        let m = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
         // Player 1 (station 2) drives the cost; player 0 (station 1) rides
         // along the chain for free.
         let out = m.run(&[0.5, 100.0]);

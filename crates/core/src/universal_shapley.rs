@@ -38,7 +38,7 @@ impl UniversalShapleyMechanism {
     /// batches, byte-identical to a cold
     /// [`wmcs_wireless::shapley_drop_run_from`] on the current receiver
     /// set after every batch.
-    pub fn session(&self) -> ShapleySession<'_> {
+    pub fn session(&self) -> ShapleySession {
         ShapleySession::new(&self.tree)
     }
 
@@ -80,7 +80,7 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net))
+        UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net))
     }
 
     #[test]

@@ -43,10 +43,10 @@ pub struct WirelessOutcome {
 
 impl WirelessMulticastMechanism {
     /// Build the mechanism (precomputing the NWST reduction graph).
-    pub fn new(net: WirelessNetwork) -> Self {
-        let reduction = ReducedInstance::build(&net);
+    pub fn new(net: &WirelessNetwork) -> Self {
+        let reduction = ReducedInstance::build(net);
         Self {
-            net,
+            net: net.clone(),
             reduction,
             config: NwstConfig::default(),
         }
@@ -253,7 +253,7 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        WirelessMulticastMechanism::new(net)
+        WirelessMulticastMechanism::new(&net)
     }
 
     #[test]

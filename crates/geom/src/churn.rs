@@ -221,6 +221,186 @@ impl ChurnProcess {
     }
 }
 
+impl ChurnTrace {
+    /// The trace with every event's player id mapped through `f` —
+    /// how a group-local trace (players `0..m`) is lifted onto the
+    /// global universe via the group's member list.
+    pub fn map_players(&self, mut f: impl FnMut(usize) -> usize) -> ChurnTrace {
+        let batches = self
+            .batches
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .map(|ev| match *ev {
+                        ChurnEvent::Join { player, utility } => ChurnEvent::Join {
+                            player: f(player),
+                            utility,
+                        },
+                        ChurnEvent::Leave { player } => ChurnEvent::Leave { player: f(player) },
+                        ChurnEvent::Rebid { player, utility } => ChurnEvent::Rebid {
+                            player: f(player),
+                            utility,
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        ChurnTrace { batches }
+    }
+}
+
+/// One multicast group's slice of a [`MultiGroupTrace`]: its (overlapping)
+/// member universe, its churn regime, and its event stream in **global**
+/// player ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupChurn {
+    /// Global player ids this group draws receivers from, ascending.
+    /// Groups overlap: members are sampled independently per group.
+    pub members: Vec<usize>,
+    /// Heavy churn (a constant fraction of the group per batch) vs light
+    /// (a handful of events per batch).
+    pub heavy: bool,
+    /// The group's event batches (global player ids; all groups have the
+    /// same batch count, so batch `b` across groups is one service step).
+    pub trace: ChurnTrace,
+}
+
+/// A deterministic multi-group churn workload: `G` concurrent groups
+/// over one shared player universe, each with its own member set, churn
+/// rate and event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiGroupTrace {
+    /// Size of the shared player universe.
+    pub n_players: usize,
+    /// Per-group traces, in group-id order.
+    pub groups: Vec<GroupChurn>,
+}
+
+impl MultiGroupTrace {
+    /// Total number of events across all groups and batches.
+    pub fn n_events(&self) -> usize {
+        self.groups.iter().map(|g| g.trace.n_events()).sum()
+    }
+
+    /// Batches per group (identical across groups, including the
+    /// warm-up batch).
+    pub fn n_batches(&self) -> usize {
+        self.groups.first().map_or(0, |g| g.trace.batches.len())
+    }
+}
+
+/// Seedable generator of [`MultiGroupTrace`]s — the churn analogue of the
+/// scenario matrix's new group-count axis.
+///
+/// Group sizes follow a Zipf law over the group rank (`size_g ∝
+/// n_players / g^s`, clamped to `[2, n_players]`): a few groups span most
+/// of the universe and a long tail stays small, the standard model for
+/// concurrent multicast group popularity. Member sets are sampled
+/// independently per group, so they **overlap** — the regime the shared
+/// substrate exists for. A [`MultiGroupProcess::heavy_fraction`] of the
+/// groups churn heavily (mirroring [`ChurnProcess::heavy`]); the rest
+/// churn lightly. Generation is deterministic per seed: every group's
+/// members and trace derive from `seed` and the group id only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiGroupProcess {
+    /// Size of the shared player universe.
+    pub n_players: usize,
+    /// Number of concurrent groups `G`.
+    pub groups: usize,
+    /// Churn batches per group (after each group's warm-up batch).
+    pub batches: usize,
+    /// Zipf exponent `s` for the group-size law.
+    pub zipf_exponent: f64,
+    /// Fraction of groups (by count) given the heavy churn regime.
+    pub heavy_fraction: f64,
+    /// Reported utilities are uniform in `[0, utility_hi)`.
+    pub utility_hi: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl MultiGroupProcess {
+    /// A canonical process: Zipf exponent 1, a quarter of the groups
+    /// heavy.
+    pub fn new(
+        n_players: usize,
+        groups: usize,
+        batches: usize,
+        utility_hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_players >= 2, "groups need at least two players to draw");
+        assert!(groups >= 1, "a multi-group trace needs at least one group");
+        Self {
+            n_players,
+            groups,
+            batches,
+            zipf_exponent: 1.0,
+            heavy_fraction: 0.25,
+            utility_hi,
+            seed,
+        }
+    }
+
+    /// The Zipf group size at `rank` (1-based), clamped to
+    /// `[2, n_players]`.
+    pub fn group_size(&self, rank: usize) -> usize {
+        let raw = (self.n_players as f64 / (rank as f64).powf(self.zipf_exponent)).round();
+        (raw as usize).clamp(2, self.n_players)
+    }
+
+    /// Generate the multi-group trace. Deterministic per `self`.
+    pub fn generate(&self) -> MultiGroupTrace {
+        let groups = (0..self.groups)
+            .map(|g| {
+                // Per-group rng stream: a SplitMix64 round over (seed, g)
+                // so group g's draw never depends on the other groups.
+                let mut z = self.seed ^ (g as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let group_seed = z ^ (z >> 31);
+                let mut rng = SmallRng::seed_from_u64(group_seed);
+
+                let size = self.group_size(g + 1);
+                // Partial Fisher–Yates: the first `size` slots are a
+                // uniform sample without replacement.
+                let mut pool: Vec<usize> = (0..self.n_players).collect();
+                for i in 0..size {
+                    let j = rng.gen_range(i..self.n_players);
+                    pool.swap(i, j);
+                }
+                let mut members = pool[..size].to_vec();
+                members.sort_unstable();
+
+                let heavy = rng.gen_range(0.0..1.0) < self.heavy_fraction;
+                let events_per_batch = if heavy {
+                    (size / 16).max(8)
+                } else {
+                    (size / 128).max(2)
+                };
+                let local = ChurnProcess::new(
+                    size,
+                    self.batches,
+                    events_per_batch,
+                    self.utility_hi,
+                    group_seed ^ 0x7ace,
+                );
+                let trace = local.generate().map_players(|p| members[p]);
+                GroupChurn {
+                    members,
+                    heavy,
+                    trace,
+                }
+            })
+            .collect();
+        MultiGroupTrace {
+            n_players: self.n_players,
+            groups,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +456,92 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn multi_group_generation_is_deterministic_and_zipf_shaped() {
+        let p = MultiGroupProcess::new(200, 16, 5, 8.0, 7);
+        let t = p.generate();
+        assert_eq!(t, p.generate());
+        assert_ne!(t, MultiGroupProcess { seed: 8, ..p }.generate());
+        assert_eq!(t.groups.len(), 16);
+        // Zipf sizes: non-increasing in rank, clamped below by 2.
+        let sizes: Vec<usize> = (1..=16).map(|r| p.group_size(r)).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(sizes[0], 200);
+        assert_eq!(p.group_size(100_000), 2);
+        for (g, group) in t.groups.iter().enumerate() {
+            assert_eq!(group.members.len(), p.group_size(g + 1));
+            assert!(group.members.windows(2).all(|w| w[0] < w[1]));
+            assert!(group.members.iter().all(|&m| m < 200));
+        }
+    }
+
+    #[test]
+    fn multi_group_members_overlap_and_events_stay_inside_members() {
+        let p = MultiGroupProcess::new(50, 8, 6, 3.0, 21);
+        let t = p.generate();
+        // The two largest groups must overlap (sizes 50 and 25 out of 50).
+        let a = &t.groups[0].members;
+        let b = &t.groups[1].members;
+        assert!(b.iter().any(|m| a.contains(m)), "groups must overlap");
+        // Every event's player is a member of its group; all groups share
+        // the batch count (warm-up + churn batches).
+        for group in &t.groups {
+            assert_eq!(group.trace.batches.len(), 7);
+            for batch in &group.trace.batches {
+                for ev in batch {
+                    assert!(group.members.contains(&ev.player()));
+                }
+            }
+        }
+        assert_eq!(t.n_batches(), 7);
+        assert_eq!(
+            t.n_events(),
+            t.groups.iter().map(|g| g.trace.n_events()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn multi_group_heavy_fraction_controls_rates() {
+        let all_heavy = MultiGroupProcess {
+            heavy_fraction: 1.0,
+            ..MultiGroupProcess::new(512, 4, 3, 1.0, 3)
+        };
+        for g in all_heavy.generate().groups {
+            assert!(g.heavy);
+            let size = g.members.len();
+            assert_eq!(g.trace.batches[1].len(), (size / 16).max(8));
+        }
+        let all_light = MultiGroupProcess {
+            heavy_fraction: 0.0,
+            ..all_heavy
+        };
+        for g in all_light.generate().groups {
+            assert!(!g.heavy);
+            let size = g.members.len();
+            assert_eq!(g.trace.batches[1].len(), (size / 128).max(2));
+        }
+    }
+
+    #[test]
+    fn map_players_relabels_every_event_kind() {
+        let t = ChurnTrace {
+            batches: vec![vec![
+                ChurnEvent::Join {
+                    player: 0,
+                    utility: 1.0,
+                },
+                ChurnEvent::Leave { player: 1 },
+                ChurnEvent::Rebid {
+                    player: 2,
+                    utility: 2.0,
+                },
+            ]],
+        };
+        let mapped = t.map_players(|p| p + 10);
+        let players: Vec<usize> = mapped.batches[0].iter().map(|e| e.player()).collect();
+        assert_eq!(players, vec![10, 11, 12]);
     }
 
     #[test]

@@ -12,23 +12,38 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum InstanceKind {
     /// Points uniform in the axis-aligned box `[0, side]^d`.
-    UniformBox { side: f64 },
+    UniformBox {
+        /// Box side length.
+        side: f64,
+    },
     /// Points uniform on a segment of the given length (forced to `d = 1`
     /// semantics: only the first coordinate varies).
-    Line { length: f64 },
+    Line {
+        /// Segment length.
+        length: f64,
+    },
     /// `clusters` cluster centres uniform in `[0, side]^d`, points Gaussian-ish
     /// (uniform ball) around centres with the given spread.
     Clustered {
+        /// Number of cluster centres.
         clusters: usize,
+        /// Uniform-ball radius around each centre.
         spread: f64,
+        /// Side of the box the centres are drawn from.
         side: f64,
     },
     /// Points on a jittered integer grid with the given spacing (2-D only;
     /// higher dimensions fall back to the box layout).
-    Grid { spacing: f64 },
+    Grid {
+        /// Lattice spacing.
+        spacing: f64,
+    },
     /// Points uniform on a circle of the given radius (2-D; used by the
     /// pentagon-style constructions of §3.2).
-    Circle { radius: f64 },
+    Circle {
+        /// Circle radius.
+        radius: f64,
+    },
 }
 
 /// A reproducible instance: `n` stations in dimension `dim`, laid out

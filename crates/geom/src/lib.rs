@@ -15,6 +15,10 @@
 // Index loops over multiple parallel arrays are idiomatic in this
 // numeric code; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+// Every public item carries rustdoc: substrate crates feed the
+// mechanism layers above them, and undocumented invariants become
+// silent contract drift there.
+#![deny(missing_docs)]
 
 pub mod churn;
 pub mod float;
@@ -23,7 +27,9 @@ pub mod point;
 pub mod power;
 pub mod scenario;
 
-pub use churn::{ChurnEvent, ChurnProcess, ChurnTrace};
+pub use churn::{
+    ChurnEvent, ChurnProcess, ChurnTrace, GroupChurn, MultiGroupProcess, MultiGroupTrace,
+};
 pub use float::{approx_eq, approx_ge, approx_le, approx_lt, total_cmp_slice, Eps, EPS};
 pub use gen::{InstanceConfig, InstanceKind};
 pub use point::Point;

@@ -70,6 +70,11 @@ pub struct Scenario {
     pub dim: usize,
     /// Distance–power gradient `α ≥ 1`.
     pub alpha: f64,
+    /// Number of concurrent multicast groups `G` sharing the station
+    /// universe — the multi-group service axis. Single-group experiments
+    /// leave the default `1` (which keeps their labels, and therefore
+    /// their per-cell seeds, unchanged).
+    pub groups: usize,
 }
 
 impl Scenario {
@@ -87,7 +92,16 @@ impl Scenario {
             n,
             dim,
             alpha,
+            groups: 1,
         }
+    }
+
+    /// The scenario serving `groups` concurrent multicast groups over its
+    /// station universe (the G axis of the service-layer experiments).
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        assert!(groups >= 1, "a scenario serves at least one group");
+        self.groups = groups;
+        self
     }
 
     /// Full cartesian product `families × ns × dims × alphas` (each
@@ -119,13 +133,17 @@ impl Scenario {
     /// as the row key in tables and as part of the per-cell seed
     /// derivation, so changing it re-seeds the sweep.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{} n={} d={} α={}",
             self.family.name(),
             self.n,
             self.dim,
             self.alpha
-        )
+        );
+        if self.groups > 1 {
+            label.push_str(&format!(" G={}", self.groups));
+        }
+        label
     }
 
     /// The canonical [`InstanceKind`] for this scenario's family, with
@@ -239,5 +257,8 @@ mod tests {
     fn labels_are_stable() {
         let sc = Scenario::new(LayoutFamily::Clustered, 8, 2, 2.0);
         assert_eq!(sc.label(), "clustered n=8 d=2 α=2");
+        // The groups axis only shows (and only re-seeds sweeps) when used.
+        assert_eq!(sc.with_groups(1).label(), "clustered n=8 d=2 α=2");
+        assert_eq!(sc.with_groups(16).label(), "clustered n=8 d=2 α=2 G=16");
     }
 }

@@ -18,6 +18,10 @@
 // Index loops over multiple parallel arrays are idiomatic in this
 // numeric code; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+// Every public item carries rustdoc: substrate crates feed the
+// mechanism layers above them, and undocumented invariants become
+// silent contract drift there.
+#![deny(missing_docs)]
 
 pub mod dense;
 pub mod heap;
@@ -36,7 +40,7 @@ pub use moat::{moat_growing, MoatResult};
 pub use mst::{kruskal, prim_mst, prim_mst_subset, SpanningTree};
 pub use shortest_path::{dijkstra, MetricClosure, ShortestPaths};
 pub use steiner::{dreyfus_wagner_cost, kmb_steiner, SteinerTree};
-pub use tree::RootedTree;
+pub use tree::{CsrChildren, RootedTree};
 pub use union_find::UnionFind;
 
 #[cfg(test)]

@@ -11,6 +11,10 @@
 // Index loops over multiple parallel arrays are idiomatic in this
 // numeric code; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+// Every public item carries rustdoc: substrate crates feed the
+// mechanism layers above them, and undocumented invariants become
+// silent contract drift there.
+#![deny(missing_docs)]
 
 pub mod exact;
 pub mod graph;

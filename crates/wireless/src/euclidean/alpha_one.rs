@@ -20,7 +20,7 @@ pub struct AlphaOneSolver {
 
 impl AlphaOneSolver {
     /// Wrap an `α = 1` Euclidean network.
-    pub fn new(net: WirelessNetwork) -> Self {
+    pub fn new(net: &WirelessNetwork) -> Self {
         let model = net
             .model()
             .expect("AlphaOneSolver needs a Euclidean network");
@@ -28,7 +28,7 @@ impl AlphaOneSolver {
             (model.alpha() - 1.0).abs() < EPS,
             "Lemma 3.1's first case requires α = 1"
         );
-        Self { net }
+        Self { net: net.clone() }
     }
 
     /// The underlying network.
@@ -162,7 +162,7 @@ mod tests {
         let pts: Vec<Point> = (0..n)
             .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
             .collect();
-        AlphaOneSolver::new(WirelessNetwork::euclidean(pts, PowerModel::linear(), 0))
+        AlphaOneSolver::new(&WirelessNetwork::euclidean(pts, PowerModel::linear(), 0))
     }
 
     #[test]
@@ -253,7 +253,11 @@ mod tests {
     #[should_panic(expected = "α = 1")]
     fn wrong_alpha_rejected() {
         let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0)];
-        let _ = AlphaOneSolver::new(WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0));
+        let _ = AlphaOneSolver::new(&WirelessNetwork::euclidean(
+            pts,
+            PowerModel::free_space(),
+            0,
+        ));
     }
 
     proptest! {

@@ -46,7 +46,7 @@ pub struct LineSolver {
 
 impl LineSolver {
     /// Wrap a 1-D Euclidean network.
-    pub fn new(net: WirelessNetwork) -> Self {
+    pub fn new(net: &WirelessNetwork) -> Self {
         let points = net.points().expect("LineSolver needs a Euclidean network");
         assert!(
             points.iter().all(|p| p.dim() == 1),
@@ -60,7 +60,7 @@ impl LineSolver {
         }
         let k = rank[net.source()];
         Self {
-            net,
+            net: net.clone(),
             by_pos,
             rank,
             k,
@@ -238,7 +238,7 @@ mod tests {
         xs.sort_by(f64::total_cmp);
         let pts: Vec<Point> = xs.into_iter().map(Point::on_line).collect();
         let source = rng.gen_range(0..n);
-        LineSolver::new(WirelessNetwork::euclidean(
+        LineSolver::new(&WirelessNetwork::euclidean(
             pts,
             PowerModel::with_alpha(alpha),
             source,
@@ -251,7 +251,7 @@ mod tests {
         // 1 + 1 + 1 = 3 via unit hops.
         let pts = (0..4).map(|i| Point::on_line(i as f64)).collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let solver = LineSolver::new(net);
+        let solver = LineSolver::new(&net);
         let (cost, pa) = solver.solve(&[3]);
         assert!(approx_eq(cost, 3.0));
         assert!(pa.multicasts_to(solver.network(), &[3]));
@@ -268,7 +268,7 @@ mod tests {
             Point::on_line(1.0),
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let solver = LineSolver::new(net);
+        let solver = LineSolver::new(&net);
         let (cost, pa) = solver.solve(&[1, 2]);
         assert!(approx_eq(cost, 4.0));
         assert!(pa.multicasts_to(solver.network(), &[1, 2]));
@@ -284,7 +284,7 @@ mod tests {
             Point::on_line(2.0),
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let solver = LineSolver::new(net);
+        let solver = LineSolver::new(&net);
         assert!(approx_eq(solver.chain_cost(&[2]), 2.0));
     }
 
@@ -345,7 +345,7 @@ mod tests {
         ];
         let pts: Vec<Point> = xs.iter().map(|&x| Point::on_line(x)).collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 5);
-        let solver = LineSolver::new(net.clone());
+        let solver = LineSolver::new(&net);
         let receivers = vec![0, 3, 6];
         let (chain, _) = solver.solve(&receivers);
         let (exact, pa) = memt_exact(&net, &receivers);
@@ -435,7 +435,11 @@ mod tests {
     #[should_panic(expected = "d = 1")]
     fn two_dimensional_network_rejected() {
         let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)];
-        let _ = LineSolver::new(WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0));
+        let _ = LineSolver::new(&WirelessNetwork::euclidean(
+            pts,
+            PowerModel::free_space(),
+            0,
+        ));
     }
 
     proptest! {

@@ -49,11 +49,12 @@
 //! the naive per-round recomputation as the correctness reference; the
 //! property suite pins the incremental outcome to it byte for byte.
 
+use crate::substrate::NO_STATION;
 use crate::universal::UniversalTree;
 use wmcs_game::{run_drop_loop, run_drop_loop_from, DropLoopMethod, MechanismOutcome};
 
-/// Sentinel for "no station" in the intrusive sibling lists.
-const NONE: usize = usize::MAX;
+/// Local alias for the dense-array sentinel shared with the substrate.
+const NONE: usize = NO_STATION;
 
 /// Run statistics of one incremental drop-loop execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,10 +71,10 @@ pub struct DropStats {
 /// counts, and the active children of every station in ascending
 /// edge-cost order.
 #[derive(Debug, Clone)]
-pub struct IncrementalShapley<'a> {
-    ut: &'a UniversalTree,
-    /// Parent station in the universal tree (`NONE` for the source).
-    parent: Vec<usize>,
+pub struct IncrementalShapley {
+    /// `O(1)`-clone handle on the shared substrate (parent array,
+    /// cost-sorted CSR children and BFS order all live there, once).
+    ut: UniversalTree,
     /// Is the station an active receiver?
     in_r: Vec<bool>,
     /// Active receivers in the station's universal-tree subtree;
@@ -85,9 +86,6 @@ pub struct IncrementalShapley<'a> {
     first_child: Vec<usize>,
     next_sib: Vec<usize>,
     prev_sib: Vec<usize>,
-    /// Index of each station within its parent's cost-sorted children
-    /// (splice point for [`IncrementalShapley::add_receiver`]).
-    pos_in_parent: Vec<usize>,
     /// Scratch: accumulated root-path share prefix per station.
     down: Vec<f64>,
     /// Scratch: per-station shares of the last round.
@@ -97,31 +95,27 @@ pub struct IncrementalShapley<'a> {
     rounds: usize,
 }
 
-impl<'a> IncrementalShapley<'a> {
+impl IncrementalShapley {
     /// Engine over `receivers` (station indices; the source is not a
-    /// receiver). Construction is `O(n)`.
-    pub fn new(ut: &'a UniversalTree, receivers: &[usize]) -> Self {
+    /// receiver). Construction is `O(n)`; the per-universe state (parent
+    /// array, sorted children, BFS order) is borrowed from the shared
+    /// substrate, so G engines over one universe allocate only their
+    /// per-group vectors.
+    pub fn new(ut: &UniversalTree, receivers: &[usize]) -> Self {
+        let sub = ut.substrate();
         let net = ut.network();
         let n = net.n_stations();
         let s = net.source();
-        let cs = ut.children_sorted();
         let mut in_r = vec![false; n];
         for &r in receivers {
             assert!(r != s, "the source cannot be a receiver");
             in_r[r] = true;
         }
-        let mut parent = vec![NONE; n];
-        for v in 0..n {
-            if let Some(p) = ut.tree().parent(v) {
-                parent[v] = p;
-            }
-        }
         // Subtree receiver counts, children before parents.
-        let order = ut.tree().bfs_order();
         let mut rb = vec![0usize; n];
-        for &v in order.iter().rev() {
+        for &v in sub.bfs_order().iter().rev() {
             let mut cnt = usize::from(in_r[v]);
-            for &y in &cs[v] {
+            for &y in sub.sorted_children(v) {
                 cnt += rb[y];
             }
             rb[v] = cnt;
@@ -130,13 +124,9 @@ impl<'a> IncrementalShapley<'a> {
         let mut first_child = vec![NONE; n];
         let mut next_sib = vec![NONE; n];
         let mut prev_sib = vec![NONE; n];
-        let mut pos_in_parent = vec![0usize; n];
         for v in 0..n {
             let mut prev = NONE;
-            for (j, &y) in cs[v].iter().enumerate() {
-                pos_in_parent[y] = j;
-            }
-            for &y in cs[v].iter().filter(|&&y| rb[y] > 0) {
+            for &y in sub.sorted_children(v).iter().filter(|&&y| rb[y] > 0) {
                 if prev == NONE {
                     first_child[v] = y;
                 } else {
@@ -147,14 +137,12 @@ impl<'a> IncrementalShapley<'a> {
             }
         }
         Self {
-            ut,
-            parent,
+            ut: ut.clone(),
             in_r,
             rb,
             first_child,
             next_sib,
             prev_sib,
-            pos_in_parent,
             down: vec![0.0; n],
             shares: vec![0.0; n],
             stack: Vec::with_capacity(n),
@@ -173,7 +161,8 @@ impl<'a> IncrementalShapley<'a> {
     /// are not cleared; callers index by active receivers only).
     pub fn round_shares_by_station(&mut self) -> &[f64] {
         self.rounds += 1;
-        let net = self.ut.network();
+        let sub = self.ut.substrate().clone();
+        let net = sub.network();
         let s = net.source();
         self.down[s] = 0.0;
         self.stack.clear();
@@ -209,10 +198,11 @@ impl<'a> IncrementalShapley<'a> {
     pub fn drop_receiver(&mut self, r: usize) {
         debug_assert!(self.in_r[r], "station {r} is not an active receiver");
         self.in_r[r] = false;
+        let sub = self.ut.substrate().clone();
         let mut v = r;
         loop {
             self.rb[v] -= 1;
-            let p = self.parent[v];
+            let p = sub.parent_of(v);
             if p == NONE {
                 break;
             }
@@ -246,21 +236,21 @@ impl<'a> IncrementalShapley<'a> {
             r != self.ut.network().source(),
             "the source cannot be a receiver"
         );
-        let ut = self.ut;
+        let sub = self.ut.substrate().clone();
         self.in_r[r] = true;
         let mut v = r;
         loop {
             self.rb[v] += 1;
-            let p = self.parent[v];
+            let p = sub.parent_of(v);
             if p == NONE {
                 break;
             }
             if self.rb[v] == 1 {
                 // v entered T(R): splice it into p's active children just
                 // after its nearest active cost-order predecessor.
-                let kids = &ut.children_sorted()[p];
+                let kids = sub.sorted_children(p);
                 let mut pr = NONE;
-                for &y in kids[..self.pos_in_parent[v]].iter().rev() {
+                for &y in kids[..sub.csr().pos_in_parent(v)].iter().rev() {
                     if self.rb[y] > 0 {
                         pr = y;
                         break;
@@ -307,17 +297,18 @@ impl<'a> IncrementalShapley<'a> {
 /// (rather than owning) the engine is what lets a live session
 /// ([`crate::session::ShapleySession`]) keep the same engine warm across
 /// many drop-loop runs.
-pub(crate) struct PlayerAdapter<'e, 'a> {
-    pub(crate) engine: &'e mut IncrementalShapley<'a>,
+pub(crate) struct PlayerAdapter<'e> {
+    pub(crate) engine: &'e mut IncrementalShapley,
 }
 
-impl DropLoopMethod for PlayerAdapter<'_, '_> {
+impl DropLoopMethod for PlayerAdapter<'_> {
     fn n_players(&self) -> usize {
         self.engine.ut.network().n_players()
     }
 
     fn round_shares(&mut self) -> Vec<f64> {
-        let net = self.engine.ut.network();
+        let sub = self.engine.ut.substrate().clone();
+        let net = sub.network();
         let n = net.n_players();
         let by_station = self.engine.round_shares_by_station();
         (0..n)
@@ -461,8 +452,9 @@ pub fn reference_drop_run(ut: &UniversalTree, reported: &[f64]) -> MechanismOutc
 /// ties), fixing the EPS drift that could return a set disagreeing with
 /// the reported net worth.
 #[derive(Debug, Clone)]
-pub struct NetWorthOracle<'a> {
-    ut: &'a UniversalTree,
+pub struct NetWorthOracle {
+    /// `O(1)`-clone handle on the shared substrate.
+    ut: UniversalTree,
     /// Utilities by station, as given (the DP clamps at 0 on use).
     u: Vec<f64>,
     /// `h[v]`: best net worth of the subtree game rooted at `v`.
@@ -471,40 +463,33 @@ pub struct NetWorthOracle<'a> {
     best: Vec<f64>,
     /// Chosen prefix length at `v` (0 = serve no child branch).
     choice: Vec<usize>,
-    /// `pre[v][j] = max(0, val_0 … val_{j−1})`.
-    pre: Vec<Vec<f64>>,
-    /// `suf[v][j] = max(val_j … val_{k−1})`.
-    suf: Vec<Vec<f64>>,
-    /// Index of `v` within its parent's cost-sorted children.
-    pos_in_parent: Vec<usize>,
+    /// `pre[offset(v) + j] = max(0, val_0 … val_{j−1})` — flat per-edge
+    /// array indexed through the substrate's CSR offsets (one allocation
+    /// instead of a `Vec<Vec<f64>>` per oracle; the substrate refactor's
+    /// memory layout applied to the DP state).
+    pre: Vec<f64>,
+    /// `suf[offset(v) + j] = max(val_j … val_{k−1})`, same flat layout.
+    suf: Vec<f64>,
 }
 
-impl<'a> NetWorthOracle<'a> {
+impl NetWorthOracle {
     /// Run the bottom-up DP once: `O(n)`.
-    pub fn new(ut: &'a UniversalTree, u: &[f64]) -> Self {
-        let net = ut.network();
-        let n = net.n_stations();
+    pub fn new(ut: &UniversalTree, u: &[f64]) -> Self {
+        let sub = ut.substrate().clone();
+        let n = sub.network().n_stations();
         assert_eq!(u.len(), n);
-        let cs = ut.children_sorted();
-        let mut pos_in_parent = vec![0usize; n];
-        for kids in cs {
-            for (j, &y) in kids.iter().enumerate() {
-                pos_in_parent[y] = j;
-            }
-        }
+        let n_edges = sub.csr().n_edges();
         let mut oracle = Self {
-            ut,
+            ut: ut.clone(),
             u: u.to_vec(),
             h: vec![0.0f64; n],
             best: vec![0.0f64; n],
             choice: vec![0usize; n],
-            pre: vec![Vec::new(); n],
-            suf: vec![Vec::new(); n],
-            pos_in_parent,
+            pre: vec![0.0f64; n_edges],
+            suf: vec![f64::NEG_INFINITY; n_edges],
         };
-        let order = ut.tree().bfs_order();
-        for &v in order.iter().rev() {
-            oracle.recompute_station(v);
+        for &v in sub.bfs_order().iter().rev() {
+            oracle.recompute_station(&sub, v);
         }
         oracle
     }
@@ -516,44 +501,43 @@ impl<'a> NetWorthOracle<'a> {
     /// kernel is what makes an updated oracle *byte-identical* to a
     /// freshly built one: both run the same arithmetic on the same
     /// inputs. `O(children of v)`.
-    fn recompute_station(&mut self, v: usize) {
-        let ut = self.ut;
-        let net = ut.network();
+    fn recompute_station(&mut self, sub: &crate::substrate::TreeSubstrate, v: usize) {
+        let net = sub.network();
         let s = net.source();
-        let kids = &ut.children_sorted()[v];
+        let kids = sub.sorted_children(v);
         let k = kids.len();
+        let base = sub.csr().offset(v);
         let own = if v == s { 0.0 } else { self.u[v].max(0.0) };
-        let mut vals = Vec::with_capacity(k);
+        // Raw prefix values go into the suf slice first (it is rewritten
+        // into suffix maxima in place below), so no per-call allocation.
         let mut acc = 0.0f64;
-        for &y in kids {
+        for (j, &y) in kids.iter().enumerate() {
             acc += self.h[y];
-            vals.push(acc - net.cost(v, y));
+            self.suf[base + j] = acc - net.cost(v, y);
         }
         // Exact total order on value; larger prefix on true ties.
         let mut b = 0.0f64;
         let mut bj = 0usize;
-        for (j, &val) in vals.iter().enumerate() {
+        for j in 0..k {
+            let val = self.suf[base + j];
             if val >= b {
                 b = val;
                 bj = j + 1;
             }
         }
-        let mut pre_v = vec![0.0f64; k];
-        for j in 1..k {
-            pre_v[j] = pre_v[j - 1].max(vals[j - 1]);
+        // pre[j] = max(0, val_0 … val_{j−1}): running maximum.
+        let mut run = 0.0f64;
+        for j in 0..k {
+            self.pre[base + j] = run;
+            run = run.max(self.suf[base + j]);
         }
-        let mut suf_v = vec![f64::NEG_INFINITY; k];
-        for j in (0..k).rev() {
-            suf_v[j] = match suf_v.get(j + 1) {
-                Some(&next) => vals[j].max(next),
-                None => vals[j],
-            };
+        // Fold the raw values into suffix maxima, right to left.
+        for j in (0..k.saturating_sub(1)).rev() {
+            self.suf[base + j] = self.suf[base + j].max(self.suf[base + j + 1]);
         }
         self.h[v] = own + b;
         self.best[v] = b;
         self.choice[v] = bj;
-        self.pre[v] = pre_v;
-        self.suf[v] = suf_v;
     }
 
     /// Replace station `x`'s utility and repair the DP along `x`'s root
@@ -564,7 +548,8 @@ impl<'a> NetWorthOracle<'a> {
     /// parent only sees `h`). The updated oracle equals
     /// `NetWorthOracle::new(ut, modified_u)` in every stored float.
     pub fn set_utility(&mut self, x: usize, utility: f64) {
-        let s = self.ut.network().source();
+        let sub = self.ut.substrate().clone();
+        let s = sub.network().source();
         assert!(x != s, "the source has no utility");
         self.u[x] = utility;
         // x's own prefix arrays depend only on its children, which are
@@ -576,13 +561,10 @@ impl<'a> NetWorthOracle<'a> {
         }
         let mut v = x;
         while v != s {
-            let p = self
-                .ut
-                .tree()
-                .parent(v)
-                .expect("non-source station has a parent");
+            let p = sub.parent_of(v);
+            debug_assert!(p != NONE, "non-source station has a parent");
             let before = self.h[p];
-            self.recompute_station(p);
+            self.recompute_station(&sub, p);
             if self.h[p] == before {
                 return;
             }
@@ -609,15 +591,15 @@ impl<'a> NetWorthOracle<'a> {
     /// The largest welfare-maximising station set and its net worth:
     /// walk the chosen prefixes down from the source.
     pub fn efficient_set(&self) -> (Vec<usize>, f64) {
-        let s = self.ut.network().source();
-        let cs = self.ut.children_sorted();
+        let sub = self.ut.substrate();
+        let s = sub.network().source();
         let mut reached = Vec::new();
         let mut stack = vec![s];
         while let Some(v) = stack.pop() {
             if v != s {
                 reached.push(v);
             }
-            stack.extend(cs[v].iter().take(self.choice[v]).copied());
+            stack.extend(sub.sorted_children(v).iter().take(self.choice[v]).copied());
         }
         reached.sort_unstable();
         (reached, self.net_worth())
@@ -627,8 +609,9 @@ impl<'a> NetWorthOracle<'a> {
     /// zero, in `O(depth of x)`. Agrees with a full DP on the modified
     /// profile up to float reassociation (pinned by property tests).
     pub fn net_worth_zeroing(&self, x: usize) -> f64 {
-        let net = self.ut.network();
-        let s = net.source();
+        let sub = self.ut.substrate();
+        let csr = sub.csr();
+        let s = sub.network().source();
         assert!(x != s, "the source has no utility to zero");
         // Zeroing only lowers own(x); the subtree below x is unchanged.
         let mut v = x;
@@ -638,14 +621,11 @@ impl<'a> NetWorthOracle<'a> {
                 // Nothing changed at v, so nothing changes above it.
                 return self.h[s];
             }
-            let p = self
-                .ut
-                .tree()
-                .parent(v)
-                .expect("non-source station has a parent");
-            let j = self.pos_in_parent[v];
+            let p = sub.parent_of(v);
+            debug_assert!(p != NONE, "non-source station has a parent");
+            let j = csr.offset(p) + csr.pos_in_parent(v);
             let delta = hv - self.h[v];
-            let b = self.pre[p][j].max(self.suf[p][j] + delta);
+            let b = self.pre[j].max(self.suf[j] + delta);
             let own_p = if p == s { 0.0 } else { self.u[p].max(0.0) };
             hv = own_p + b;
             v = p;
@@ -669,9 +649,9 @@ mod tests {
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         if seed.is_multiple_of(2) {
-            UniversalTree::shortest_path_tree(net)
+            UniversalTree::shortest_path_tree(&net)
         } else {
-            UniversalTree::mst_tree(net)
+            UniversalTree::mst_tree(&net)
         }
     }
 

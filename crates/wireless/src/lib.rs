@@ -12,9 +12,15 @@
 //! * [`incremental`] — the incremental Moulin–Shenker engine and the
 //!   `O(depth)`-per-query VCG net-worth oracle that scale both §2.1
 //!   mechanisms to thousands of stations;
+//! * [`substrate`] — the shared universal-tree substrate: network +
+//!   cost-sorted CSR children behind an `Arc`, built once and shared by
+//!   every engine, session and group;
 //! * [`session`] — live multicast sessions: both §2.1 mechanisms served
 //!   across a churn stream (join/leave/rebid) from warm state,
 //!   byte-identical to a cold rebuild after every batch;
+//! * [`service`] — the sharded multi-group service layer: G concurrent
+//!   groups, each a warm session, priced over one substrate by a
+//!   work-stealing worker pool with per-group byte-determinism;
 //! * [`memt`] — exact minimum-energy multicast (set-state Dijkstra) and the
 //!   all-subsets `C*` table, the optimum reference for every β-BB claim;
 //! * [`mst_heuristic`] — the MST broadcast heuristic \[50\] and the KMB
@@ -39,7 +45,9 @@ pub mod memt;
 pub mod mst_heuristic;
 pub mod network;
 pub mod power;
+pub mod service;
 pub mod session;
+pub mod substrate;
 pub mod universal;
 
 pub use bip::{bip_broadcast, mip_multicast};
@@ -52,7 +60,9 @@ pub use memt::{memt_exact, MemtCostTable, OptimalMulticastCost, MAX_EXACT_STATIO
 pub use mst_heuristic::{mst_broadcast, mst_multicast, steiner_multicast};
 pub use network::WirelessNetwork;
 pub use power::PowerAssignment;
+pub use service::{GroupMechanism, GroupOutcome, GroupSession, MulticastService};
 pub use session::{vcg_outcome, ChurnEvent, ChurnProcess, ChurnTrace, McSession, ShapleySession};
+pub use substrate::{TreeSubstrate, NO_STATION};
 pub use universal::{UniversalTree, UniversalTreeCost};
 
 #[cfg(test)]
@@ -72,7 +82,7 @@ mod integration_tests {
             Point::xy(1.5, 2.0),
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let ut = UniversalTree::shortest_path_tree(net.clone());
+        let ut = UniversalTree::shortest_path_tree(&net);
         for receivers in [vec![3], vec![4], vec![1, 3], vec![1, 2, 3, 4]] {
             let (opt, _) = memt_exact(&net, &receivers);
             let tree_cost = ut.multicast_cost(&receivers);
@@ -93,7 +103,7 @@ mod integration_tests {
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         let (_, pa) = steiner_multicast(&net, &[1, 2]);
         assert!(pa.multicasts_to(&net, &[1, 2]));
-        let ut = UniversalTree::shortest_path_tree(net.clone());
+        let ut = UniversalTree::shortest_path_tree(&net);
         assert!(ut.power_assignment(&[1, 2]).multicasts_to(&net, &[1, 2]));
         let (opt, _) = memt_exact(&net, &[1, 2]);
         assert!(opt <= pa.total_cost() + 1e-9);
@@ -108,8 +118,8 @@ mod integration_tests {
             .map(|&x| Point::on_line(x))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::linear(), 0);
-        let line = LineSolver::new(net.clone());
-        let alpha = AlphaOneSolver::new(net);
+        let line = LineSolver::new(&net);
+        let alpha = AlphaOneSolver::new(&net);
         for receivers in [vec![1], vec![3], vec![1, 2], vec![1, 2, 3]] {
             assert!(approx_eq(
                 line.chain_cost(&receivers),

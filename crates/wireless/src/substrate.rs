@@ -1,0 +1,189 @@
+//! The shared universal-tree substrate: network + cost-sorted CSR
+//! children, built once and served to any number of multicast groups.
+//!
+//! Before this layer existed, every [`crate::universal::UniversalTree`]
+//! owned its `WirelessNetwork` by value and rebuilt (and re-sorted) a
+//! nested `Vec<Vec<usize>>` of children on every construction, so a
+//! workload of G concurrent groups over one station universe paid G
+//! copies of an `O(n²)` cost matrix and G sorts — and a session borrowed
+//! one tree for one group. A [`TreeSubstrate`] is the immutable,
+//! cache-friendly form of everything those consumers share:
+//!
+//! * the [`WirelessNetwork`] (stations, symmetric costs, source);
+//! * the spanning [`RootedTree`] `T(S\{s})`;
+//! * its children in flat **CSR** form ([`CsrChildren`]), each station's
+//!   slice sorted by ascending edge cost — the order used by the Shapley
+//!   split, the efficient-set DP and the incremental engines;
+//! * a dense parent array with the [`NO_STATION`] sentinel and a cached
+//!   BFS order, the two hot-path walks every engine repeats.
+//!
+//! Substrates are shared behind [`Arc`](std::sync::Arc): a
+//! [`UniversalTree`] is a thin
+//! handle (`Arc<TreeSubstrate>`), so cloning one is `O(1)` and the
+//! multi-group service layer ([`crate::service`]) runs thousands of warm
+//! per-group sessions against a single allocation of the expensive
+//! state. Experiment T12 and the `service_throughput` bench pin the
+//! resulting per-group byte-identity and throughput.
+//!
+//! [`UniversalTree`]: crate::universal::UniversalTree
+
+use crate::network::WirelessNetwork;
+use wmcs_graph::{dijkstra, prim_mst, CsrChildren, RootedTree};
+
+/// Sentinel for "no station" in dense parent/sibling arrays.
+pub const NO_STATION: usize = usize::MAX;
+
+/// The immutable shared substrate of a universal broadcast tree: the
+/// network, the spanning tree, and the cost-sorted CSR children —
+/// everything that is per-*universe* rather than per-*group*.
+#[derive(Debug)]
+pub struct TreeSubstrate {
+    net: WirelessNetwork,
+    tree: RootedTree,
+    /// Children of each station in ascending edge-cost order, flat CSR.
+    csr: CsrChildren,
+    /// Parent station ([`NO_STATION`] for the source), dense.
+    parent: Vec<usize>,
+    /// BFS order from the source, children visited in cost order.
+    bfs: Vec<usize>,
+}
+
+impl TreeSubstrate {
+    /// Build the substrate from an owned network and an explicit spanning
+    /// tree rooted at the source. `O(n log n)` (one CSR build + one sort
+    /// per child slice) — paid **once** per universe, not per group.
+    pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
+        assert_eq!(
+            tree.root(),
+            net.source(),
+            "tree must be rooted at the source"
+        );
+        assert_eq!(
+            tree.node_count(),
+            net.n_stations(),
+            "universal trees span all stations"
+        );
+        let mut csr = tree.csr_children();
+        csr.sort_children_by(|x, a, b| net.cost(x, a).total_cmp(&net.cost(x, b)).then(a.cmp(&b)));
+        let parent = (0..net.n_stations())
+            .map(|v| tree.parent(v).unwrap_or(NO_STATION))
+            .collect();
+        let bfs = csr.bfs_order(net.source(), net.n_stations());
+        Self {
+            net,
+            tree,
+            csr,
+            parent,
+            bfs,
+        }
+    }
+
+    /// Substrate over the shortest-path universal tree (the Penna–Ventre
+    /// choice discussed in §2.1). Copies the network once.
+    pub fn shortest_path(net: &WirelessNetwork) -> Self {
+        let tree = dijkstra(net.costs(), net.source()).tree();
+        Self::new(net.clone(), tree)
+    }
+
+    /// Substrate over the MST universal tree (the Wieselthier et al.
+    /// broadcast heuristic \[50\] turned universal). Copies the network
+    /// once.
+    pub fn mst(net: &WirelessNetwork) -> Self {
+        let tree = prim_mst(net.costs()).rooted_at(net.n_stations(), net.source());
+        Self::new(net.clone(), tree)
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &WirelessNetwork {
+        &self.net
+    }
+
+    /// The underlying spanning tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// Children of station `x` in ascending edge-cost order.
+    pub fn sorted_children(&self, x: usize) -> &[usize] {
+        self.csr.children(x)
+    }
+
+    /// The full cost-sorted CSR children structure (offsets for flat
+    /// per-edge side arrays, `pos_in_parent`, …).
+    pub fn csr(&self) -> &CsrChildren {
+        &self.csr
+    }
+
+    /// Parent of `v`, or [`NO_STATION`] for the source.
+    pub fn parent_of(&self, v: usize) -> usize {
+        self.parent[v]
+    }
+
+    /// Cached BFS order from the source (children in cost order);
+    /// reversing it visits children before parents.
+    pub fn bfs_order(&self) -> &[usize] {
+        &self.bfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use wmcs_geom::{Point, PowerModel};
+
+    fn random_net(seed: u64, n: usize) -> WirelessNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0)
+    }
+
+    #[test]
+    fn children_are_cost_sorted_and_positions_invert() {
+        for seed in 0..8 {
+            let net = random_net(seed, 16);
+            let sub = TreeSubstrate::shortest_path(&net);
+            for x in 0..16 {
+                let kids = sub.sorted_children(x);
+                for w in kids.windows(2) {
+                    assert!(sub.network().cost(x, w[0]) <= sub.network().cost(x, w[1]));
+                }
+                for (j, &c) in kids.iter().enumerate() {
+                    assert_eq!(sub.csr().pos_in_parent(c), j);
+                    assert_eq!(sub.parent_of(c), x);
+                }
+            }
+            assert_eq!(sub.parent_of(sub.network().source()), NO_STATION);
+        }
+    }
+
+    #[test]
+    fn bfs_order_spans_all_stations_children_after_parents() {
+        let net = random_net(3, 20);
+        let sub = TreeSubstrate::mst(&net);
+        let order = sub.bfs_order();
+        assert_eq!(order.len(), 20);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 20];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for v in 0..20 {
+            if sub.parent_of(v) != NO_STATION {
+                assert!(pos[sub.parent_of(v)] < pos[v]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "span all stations")]
+    fn partial_tree_rejected() {
+        let net = random_net(0, 4);
+        let tree = RootedTree::from_parents(0, vec![None, Some(0), None, None]);
+        let _ = TreeSubstrate::new(net, tree);
+    }
+}

@@ -18,84 +18,79 @@
 
 use crate::network::WirelessNetwork;
 use crate::power::PowerAssignment;
+use crate::substrate::TreeSubstrate;
+use std::sync::Arc;
 use wmcs_game::CostFunction;
-use wmcs_graph::{dijkstra, prim_mst, RootedTree};
+use wmcs_graph::RootedTree;
 
-/// A universal broadcast tree over a network.
+/// A universal broadcast tree over a network — a thin, `O(1)`-clone
+/// handle on a shared [`TreeSubstrate`].
+///
+/// The substrate (network + cost-sorted CSR children) is built **once**;
+/// every clone of this handle — and every engine, session and
+/// multi-group service built from it — shares that one allocation behind
+/// an [`Arc`]. Per-group state (receiver sets, bids, warm engines) lives
+/// in the consumers, never here.
 #[derive(Debug, Clone)]
 pub struct UniversalTree {
-    net: WirelessNetwork,
-    tree: RootedTree,
-    /// Children of each station, sorted by ascending edge cost (the order
-    /// used by both the Shapley split and the efficient-set DP).
-    children_sorted: Vec<Vec<usize>>,
+    sub: Arc<TreeSubstrate>,
 }
 
 impl UniversalTree {
-    /// Wrap an explicit spanning tree rooted at the source.
+    /// Wrap an explicit spanning tree rooted at the source (consumes the
+    /// network into a fresh substrate).
     pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
-        assert_eq!(
-            tree.root(),
-            net.source(),
-            "tree must be rooted at the source"
-        );
-        assert_eq!(
-            tree.node_count(),
-            net.n_stations(),
-            "universal trees span all stations"
-        );
-        let mut children_sorted = tree.children();
-        for (x, ch) in children_sorted.iter_mut().enumerate() {
-            ch.sort_by(|&a, &b| net.cost(x, a).total_cmp(&net.cost(x, b)).then(a.cmp(&b)));
-        }
-        Self {
-            net,
-            tree,
-            children_sorted,
-        }
+        Self::from_substrate(Arc::new(TreeSubstrate::new(net, tree)))
+    }
+
+    /// Handle on an existing shared substrate.
+    pub fn from_substrate(sub: Arc<TreeSubstrate>) -> Self {
+        Self { sub }
     }
 
     /// The shortest-path universal tree (the Penna–Ventre choice discussed
-    /// in §2.1).
-    pub fn shortest_path_tree(net: WirelessNetwork) -> Self {
-        let sp = dijkstra(net.costs(), net.source());
-        let tree = sp.tree();
-        Self::new(net, tree)
+    /// in §2.1). Copies the network once, into the substrate.
+    pub fn shortest_path_tree(net: &WirelessNetwork) -> Self {
+        Self::from_substrate(Arc::new(TreeSubstrate::shortest_path(net)))
     }
 
     /// The MST universal tree (the Wieselthier et al. broadcast heuristic
-    /// \[50\] turned universal).
-    pub fn mst_tree(net: WirelessNetwork) -> Self {
-        let mst = prim_mst(net.costs());
-        let tree = mst.rooted_at(net.n_stations(), net.source());
-        Self::new(net, tree)
+    /// \[50\] turned universal). Copies the network once, into the
+    /// substrate.
+    pub fn mst_tree(net: &WirelessNetwork) -> Self {
+        Self::from_substrate(Arc::new(TreeSubstrate::mst(net)))
+    }
+
+    /// The shared substrate this handle points at.
+    pub fn substrate(&self) -> &Arc<TreeSubstrate> {
+        &self.sub
     }
 
     /// The underlying network.
     pub fn network(&self) -> &WirelessNetwork {
-        &self.net
+        self.sub.network()
     }
 
     /// The underlying spanning tree.
     pub fn tree(&self) -> &RootedTree {
-        &self.tree
+        self.sub.tree()
     }
 
-    /// Children of each station in ascending edge-cost order — the order
+    /// Children of station `x` in ascending edge-cost order — the order
     /// shared by the Shapley split, the efficient-set DP and the
     /// incremental engine.
-    pub(crate) fn children_sorted(&self) -> &[Vec<usize>] {
-        &self.children_sorted
+    pub fn sorted_children(&self, x: usize) -> &[usize] {
+        self.sub.sorted_children(x)
     }
 
     /// The multicast sub-tree `T(R)` for a station set.
     pub fn multicast_subtree(&self, receivers: &[usize]) -> RootedTree {
-        self.tree.steiner_subtree(receivers)
+        self.tree().steiner_subtree(receivers)
     }
 
     /// The induced power assignment `π_R` for a receiver station set.
     pub fn power_assignment(&self, receivers: &[usize]) -> PowerAssignment {
-        PowerAssignment::from_tree(&self.net, &self.multicast_subtree(receivers))
+        PowerAssignment::from_tree(self.network(), &self.multicast_subtree(receivers))
     }
 
     /// `C_T(R)` for a receiver station set.
@@ -109,7 +104,8 @@ impl UniversalTree {
     /// the receivers of `R` whose next hop from `x` is one of `y_i … y_k`.
     /// Returns per-station shares (zero outside `R`).
     pub fn shapley_shares(&self, receivers: &[usize]) -> Vec<f64> {
-        let n = self.net.n_stations();
+        let net = self.network();
+        let n = net.n_stations();
         let mut share = vec![0.0f64; n];
         if receivers.is_empty() {
             return share;
@@ -117,7 +113,7 @@ impl UniversalTree {
         let sub = self.multicast_subtree(receivers);
         let mut in_r = vec![false; n];
         for &r in receivers {
-            assert!(r != self.net.source(), "the source cannot be a receiver");
+            assert!(r != net.source(), "the source cannot be a receiver");
             in_r[r] = true;
         }
         // receivers_below[v] = receivers of R in the subtree of v (within T(R)).
@@ -125,7 +121,7 @@ impl UniversalTree {
         let order = sub.bfs_order();
         for &v in order.iter().rev() {
             let mut cnt = usize::from(in_r[v]);
-            for &c in &self.children_sorted[v] {
+            for &c in self.sorted_children(v) {
                 if sub.contains(c) && sub.parent(c) == Some(v) {
                     cnt += receivers_below[c];
                 }
@@ -133,9 +129,10 @@ impl UniversalTree {
             receivers_below[v] = cnt;
         }
         for &x in &order {
-            // Children of x inside T(R), ascending cost (children_sorted is
-            // pre-sorted; filter preserves order).
-            let kids: Vec<usize> = self.children_sorted[x]
+            // Children of x inside T(R), ascending cost (the substrate's
+            // slices are pre-sorted; filter preserves order).
+            let kids: Vec<usize> = self
+                .sorted_children(x)
                 .iter()
                 .copied()
                 .filter(|&c| sub.contains(c) && sub.parent(c) == Some(x))
@@ -151,7 +148,7 @@ impl UniversalTree {
             }
             let mut prev_cost = 0.0;
             for (i, &y) in kids.iter().enumerate() {
-                let cost = self.net.cost(x, y);
+                let cost = net.cost(x, y);
                 let delta = cost - prev_cost;
                 prev_cost = cost;
                 if delta <= 0.0 {
@@ -162,7 +159,7 @@ impl UniversalTree {
                 let slice = delta / users as f64;
                 // Distribute to every receiver in subtrees y_i..y_k.
                 for &z in &kids[i..] {
-                    distribute(&sub, &self.children_sorted, &in_r, z, slice, &mut share);
+                    distribute(&sub, self.substrate(), &in_r, z, slice, &mut share);
                 }
             }
         }
@@ -195,7 +192,7 @@ impl UniversalTree {
 
 fn distribute(
     sub: &RootedTree,
-    children_sorted: &[Vec<usize>],
+    substrate: &TreeSubstrate,
     in_r: &[bool],
     root: usize,
     slice: f64,
@@ -206,7 +203,7 @@ fn distribute(
         if in_r[v] {
             share[v] += slice;
         }
-        for &c in &children_sorted[v] {
+        for &c in substrate.sorted_children(v) {
             if sub.contains(c) && sub.parent(c) == Some(v) {
                 stack.push(c);
             }
@@ -236,11 +233,11 @@ impl UniversalTreeCost {
 
 impl CostFunction for UniversalTreeCost {
     fn n_players(&self) -> usize {
-        self.ut.net.n_players()
+        self.ut.network().n_players()
     }
 
     fn cost_mask(&self, mask: u64) -> f64 {
-        let stations = self.ut.net.stations_of_player_mask(mask);
+        let stations = self.ut.network().stations_of_player_mask(mask);
         self.ut.multicast_cost(&stations)
     }
 }
@@ -318,17 +315,20 @@ mod tests {
     fn efficient_shapley_matches_exact_formula() {
         for seed in 0..12 {
             let net = random_net(seed, 6);
-            let ut = UniversalTree::shortest_path_tree(net);
+            let ut = UniversalTree::shortest_path_tree(&net);
             let cost = UniversalTreeCost::new(ut);
             let game = ExplicitGame::tabulate(&cost);
             let n_players = game.n_players();
             for mask in [0b10110u64, 0b11111, 0b00001, 0b01010] {
                 let mask = mask & ((1 << n_players) - 1);
                 let exact = shapley_value(&game, mask);
-                let stations = cost.universal_tree().net.stations_of_player_mask(mask);
+                let stations = cost
+                    .universal_tree()
+                    .network()
+                    .stations_of_player_mask(mask);
                 let fast = cost.universal_tree().shapley_shares(&stations);
                 for p in 0..n_players {
-                    let st = cost.universal_tree().net.station_of_player(p);
+                    let st = cost.universal_tree().network().station_of_player(p);
                     assert!(
                         (exact[p] - fast[st]).abs() < 1e-7,
                         "seed {seed} mask {mask:b} player {p}: exact {} fast {}",
@@ -344,9 +344,8 @@ mod tests {
     fn lemma_2_1_submodular_nondecreasing() {
         for seed in 0..8 {
             let net = random_net(seed, 6);
-            let for_mst = net.clone();
-            let spt = UniversalTreeCost::new(UniversalTree::shortest_path_tree(net));
-            let mst = UniversalTreeCost::new(UniversalTree::mst_tree(for_mst));
+            let spt = UniversalTreeCost::new(UniversalTree::shortest_path_tree(&net));
+            let mst = UniversalTreeCost::new(UniversalTree::mst_tree(&net));
             for cost in [&spt, &mst] {
                 let game = ExplicitGame::tabulate(cost);
                 assert!(is_nondecreasing(&game), "seed {seed} not monotone");
@@ -360,7 +359,7 @@ mod tests {
         use wmcs_game::subset::members_of;
         for seed in 0..16 {
             let net = random_net(seed, 7);
-            let ut = UniversalTree::shortest_path_tree(net);
+            let ut = UniversalTree::shortest_path_tree(&net);
             let cost = UniversalTreeCost::new(ut);
             let game = ExplicitGame::tabulate(&cost);
             let n_players = game.n_players();
@@ -381,16 +380,16 @@ mod tests {
             }
             // DP.
             let ut = cost.universal_tree();
-            let mut u_stations = vec![0.0; ut.net.n_stations()];
+            let mut u_stations = vec![0.0; ut.network().n_stations()];
             for p in 0..n_players {
-                u_stations[ut.net.station_of_player(p)] = u_players[p];
+                u_stations[ut.network().station_of_player(p)] = u_players[p];
             }
             let (stations, nw) = ut.largest_efficient_set(&u_stations);
             assert!(
                 (nw - best).abs() < 1e-7,
                 "seed {seed}: DP welfare {nw} ≠ brute {best}"
             );
-            let dp_mask = ut.net.player_mask_of_stations(&stations);
+            let dp_mask = ut.network().player_mask_of_stations(&stations);
             let util: f64 = members_of(dp_mask).iter().map(|&p| u_players[p]).sum();
             assert!(approx_eq(util - game.cost_mask(dp_mask), best));
         }
@@ -445,7 +444,7 @@ mod tests {
         #[test]
         fn shapley_shares_nonnegative_and_balanced(seed in 0u64..500) {
             let net = random_net(seed, 8);
-            let ut = UniversalTree::mst_tree(net);
+            let ut = UniversalTree::mst_tree(&net);
             let mut rng = SmallRng::seed_from_u64(seed ^ 0xabc);
             let receivers: Vec<usize> = (1..8).filter(|_| rng.gen_bool(0.6)).collect();
             let shares = ut.shapley_shares(&receivers);

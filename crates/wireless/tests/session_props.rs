@@ -16,9 +16,9 @@ fn scenario_tree(family: LayoutFamily, n: usize, alpha: f64, seed: u64) -> Unive
     let sc = Scenario::new(family, n, 2, alpha);
     let net = WirelessNetwork::euclidean(sc.points(seed), sc.power_model(), 0);
     if seed.is_multiple_of(2) {
-        UniversalTree::shortest_path_tree(net)
+        UniversalTree::shortest_path_tree(&net)
     } else {
-        UniversalTree::mst_tree(net)
+        UniversalTree::mst_tree(&net)
     }
 }
 

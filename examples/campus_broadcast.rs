@@ -25,8 +25,8 @@ fn main() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let n = net.n_players();
 
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(net.clone()));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
 
     println!("== campus universal-tree pricing: {n} subscriber masts ==\n");
     println!("session | mechanism | served | revenue | cost | welfare");

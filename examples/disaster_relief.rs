@@ -35,7 +35,7 @@ fn main() {
     // True utilities: teams near the fire front value the report highly.
     let utilities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..80.0)).collect();
 
-    let mech = EuclideanSteinerMechanism::new(net.clone());
+    let mech = EuclideanSteinerMechanism::new(&net);
     let truthful = mech.run(&utilities);
 
     println!("== disaster relief multicast: {} field teams ==", n);

@@ -16,7 +16,7 @@ fn main() {
     let source = 4; // km 6.0
     let pts: Vec<Point> = positions.iter().map(|&x| Point::on_line(x)).collect();
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), source);
-    let solver = LineSolver::new(net.clone());
+    let solver = LineSolver::new(&net);
     let n = net.n_players();
 
     // Drivers' willingness to pay (power budget they'd burn to relay).
@@ -35,7 +35,7 @@ fn main() {
     }
 
     // 1-BB Shapley mechanism (group strategyproof).
-    let shapley = LineShapleyMechanism::new(LineSolver::new(net.clone()));
+    let shapley = LineShapleyMechanism::new(LineSolver::new(&net));
     let out = shapley.run(&utilities);
     println!("\nShapley mechanism (1-BB w.r.t. chain-form cost):");
     println!(
@@ -47,7 +47,7 @@ fn main() {
     assert!((out.revenue() - out.served_cost).abs() < 1e-9);
 
     // Efficient MC mechanism.
-    let mc = LineMcMechanism::new(LineSolver::new(net.clone()));
+    let mc = LineMcMechanism::new(LineSolver::new(&net));
     let eff = mc.run(&utilities);
     let welfare: f64 = eff
         .receivers

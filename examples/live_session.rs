@@ -26,8 +26,8 @@ fn main() {
     };
     let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
     let n = net.n_players();
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(net));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
 
     // A day of churn: half the campus tunes in up front, then arrivals,
     // departures and rebids trickle through in batches.

@@ -26,27 +26,27 @@ fn main() {
 
     // --- Mechanism 1: universal-tree Shapley (§2.1) — budget balanced,
     //     group strategyproof.
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = shapley.run(&utilities);
     println!("Universal-tree Shapley (BB, group-SP):");
     report(&out, &utilities);
 
     // --- Mechanism 2: universal-tree marginal cost (§2.1) — efficient.
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = mc.run(&utilities);
     println!("Universal-tree marginal cost (efficient, SP):");
     report(&out, &utilities);
 
     // --- Mechanism 3: the 12-BB group-strategyproof Steiner mechanism
     //     (Theorem 3.7, d = 2).
-    let steiner = EuclideanSteinerMechanism::new(net.clone());
+    let steiner = EuclideanSteinerMechanism::new(&net);
     let out = steiner.run(&utilities);
     println!("Jain–Vazirani Steiner mechanism (12-BB, group-SP):");
     report(&out, &utilities);
 
     // --- Mechanism 4: the 3 ln(k+1)-BB mechanism for general symmetric
     //     networks (§2.2.3).
-    let wireless = WirelessMulticastMechanism::new(net.clone());
+    let wireless = WirelessMulticastMechanism::new(&net);
     let out = wireless.run(&utilities);
     println!("NWST-reduction wireless mechanism (3 ln(k+1)-BB, SP):");
     report(&out, &utilities);

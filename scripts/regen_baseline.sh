@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the committed 20-seed sweep baseline (BENCH_baseline.json).
+#
+# Run this whenever an experiment is added, removed, or its verdict or
+# scenario matrix legitimately changes — the CI bench-gate diffs every
+# PR's 3-seed sweep against this file and fails on any status/verdict
+# drift or on experiments missing from either side.
+#
+# Workflow (documented in EXPERIMENTS.md "Regenerating the record"):
+#   1. full 20-seed sweep over the whole registry, writing the summary;
+#   2. sanity-diff the fresh baseline against itself (parses + exit 0);
+#   3. remind the operator to commit the file alongside the code change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-20}"
+
+echo "== regenerating BENCH_baseline.json (${SEEDS} seeds per cell) =="
+cargo run --release --bin all_experiments -- "${SEEDS}" --json=BENCH_baseline.json
+
+echo "== self-diff sanity check =="
+cargo run --release --bin bench_compare -- BENCH_baseline.json BENCH_baseline.json
+
+echo "== done — review the EXPERIMENTS.md tables and commit BENCH_baseline.json =="

@@ -24,7 +24,7 @@
 //! let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
 //!
 //! // The 12-BB group-strategyproof mechanism of Theorem 3.7.
-//! let mech = EuclideanSteinerMechanism::new(net);
+//! let mech = EuclideanSteinerMechanism::new(&net);
 //! let reported = vec![4.0, 3.0, 0.2, 5.0]; // players = stations 1..=4
 //! let out = mech.run(&reported);
 //! for &p in &out.receivers {
@@ -50,7 +50,7 @@ pub mod prelude {
         find_group_deviation, find_unilateral_deviation, marginal_cost_mechanism, moulin_shenker,
         shapley_value, CostFunction, ExplicitGame, Mechanism, MechanismOutcome, ShapleyMethod,
     };
-    pub use wmcs_geom::{InstanceConfig, InstanceKind, Point, PowerModel};
+    pub use wmcs_geom::{InstanceConfig, InstanceKind, MultiGroupProcess, Point, PowerModel};
     pub use wmcs_graph::{CostMatrix, RootedTree};
     pub use wmcs_mechanisms::{
         fig1_instance, AlphaOneMcMechanism, AlphaOneShapleyMechanism, EuclideanSteinerMechanism,
@@ -59,7 +59,8 @@ pub mod prelude {
     };
     pub use wmcs_nwst::{NodeWeightedGraph, NwstConfig};
     pub use wmcs_wireless::{
-        memt_exact, AlphaOneSolver, ChurnEvent, ChurnProcess, ChurnTrace, LineSolver, McSession,
-        PowerAssignment, ShapleySession, UniversalTree, WirelessNetwork,
+        memt_exact, AlphaOneSolver, ChurnEvent, ChurnProcess, ChurnTrace, GroupMechanism,
+        LineSolver, McSession, MulticastService, PowerAssignment, ShapleySession, UniversalTree,
+        WirelessNetwork,
     };
 }

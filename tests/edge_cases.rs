@@ -10,18 +10,18 @@ fn two_station_network_minimal_case() {
     let u_rich = vec![100.0];
     let u_poor = vec![0.5];
 
-    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = sh.run(&u_rich);
     assert_eq!(out.receivers, vec![0]);
     assert!((out.shares[0] - 4.0).abs() < 1e-9); // c = 2² = 4
     assert!(sh.run(&u_poor).receivers.is_empty());
 
-    let jv = EuclideanSteinerMechanism::new(net.clone());
+    let jv = EuclideanSteinerMechanism::new(&net);
     let out = jv.run(&u_rich);
     assert_eq!(out.receivers, vec![0]);
     assert!((out.shares[0] - 4.0).abs() < 1e-9);
 
-    let w = WirelessMulticastMechanism::new(net.clone());
+    let w = WirelessMulticastMechanism::new(&net);
     let out = w.run(&u_rich);
     assert_eq!(out.receivers, vec![0]);
     assert!(out.revenue() + 1e-9 >= out.served_cost);
@@ -40,7 +40,7 @@ fn coincident_stations_cost_zero_between_them() {
     let (opt, pa) = memt_exact(&net, &[1, 2]);
     assert!((opt - 2.0).abs() < 1e-9); // reach the pair once; twin rides free
     assert!(pa.multicasts_to(&net, &[1, 2]));
-    let sh = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net));
+    let sh = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
     let out = sh.run(&[10.0, 10.0]);
     assert_eq!(out.receivers.len(), 2);
     assert!((out.revenue() - out.served_cost).abs() < 1e-9);
@@ -57,9 +57,9 @@ fn zero_utilities_never_produce_negative_welfare() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let u = vec![0.0; 3];
     for out in [
-        UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone())).run(&u),
-        EuclideanSteinerMechanism::new(net.clone()).run(&u),
-        WirelessMulticastMechanism::new(net.clone()).run(&u),
+        UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net)).run(&u),
+        EuclideanSteinerMechanism::new(&net).run(&u),
+        WirelessMulticastMechanism::new(&net).run(&u),
     ] {
         for p in 0..3 {
             assert!(out.welfare(p, &u) >= -1e-9);
@@ -81,15 +81,15 @@ fn moderate_scale_polynomial_mechanisms_run_fast() {
     let n = net.n_players();
     let u: Vec<f64> = (0..n).map(|p| (p % 17) as f64 * 40.0).collect();
 
-    let sh = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
+    let sh = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
     let out = sh.run(&u);
     assert!((out.revenue() - out.served_cost).abs() < 1e-6 * out.served_cost.max(1.0));
 
-    let jv = EuclideanSteinerMechanism::new(net.clone());
+    let jv = EuclideanSteinerMechanism::new(&net);
     let out = jv.run(&u);
     assert!(out.revenue() + 1e-6 >= out.served_cost);
 
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net));
+    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = mc.run(&u);
     assert!(out.revenue() <= out.served_cost + 1e-6);
 }
@@ -102,12 +102,12 @@ fn line_mechanisms_handle_source_at_the_edge() {
         .map(|&x| Point::on_line(x))
         .collect();
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-    let solver = LineSolver::new(net.clone());
+    let solver = LineSolver::new(&net);
     let (cost, pa) = solver.solve(&[3]);
     let (opt, _) = memt_exact(&net, &[3]);
     assert!(cost >= opt - 1e-9);
     assert!(pa.multicasts_to(&net, &[3]));
-    let m = LineMcMechanism::new(LineSolver::new(net));
+    let m = LineMcMechanism::new(LineSolver::new(&net));
     let out = m.run(&[1.0, 1.0, 100.0]);
     assert!(out.is_receiver(2));
 }

@@ -28,15 +28,15 @@ fn all_mechanisms_satisfy_npt_vp_cs_on_the_same_network() {
     let net = network(42, 7);
     let u = vec![9.0, 3.0, 25.0, 0.5, 14.0, 7.0];
     axioms(
-        &UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone())),
+        &UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net)),
         &u,
     );
     axioms(
-        &UniversalMcMechanism::new(UniversalTree::mst_tree(net.clone())),
+        &UniversalMcMechanism::new(UniversalTree::mst_tree(&net)),
         &u,
     );
-    axioms(&EuclideanSteinerMechanism::new(net.clone()), &u);
-    axioms(&WirelessMulticastMechanism::new(net.clone()), &u);
+    axioms(&EuclideanSteinerMechanism::new(&net), &u);
+    axioms(&WirelessMulticastMechanism::new(&net), &u);
 }
 
 #[test]
@@ -49,15 +49,15 @@ fn budget_balance_hierarchy_on_rich_profiles() {
     let stations: Vec<usize> = (1..7).collect();
     let (opt, _) = memt_exact(&net, &stations);
 
-    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = sh.run(&u);
     assert!(verify_budget_balance(&out, 1.0, out.served_cost));
 
-    let jv = EuclideanSteinerMechanism::new(net.clone());
+    let jv = EuclideanSteinerMechanism::new(&net);
     let out = jv.run(&u);
     assert!(verify_budget_balance(&out, 12.0, opt));
 
-    let w = WirelessMulticastMechanism::new(net.clone());
+    let w = WirelessMulticastMechanism::new(&net);
     let out = w.run(&u);
     let beta = (3.0 * 7.0f64.ln()).max(4.0);
     assert!(verify_budget_balance(&out, beta, opt));
@@ -78,11 +78,11 @@ fn efficiency_ordering_mc_dominates_all() {
     };
     // MC's *net worth* (utilities minus cost) is the systemwide optimum for
     // the universal-tree cost structure.
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
     let mc_out = mc.run(&u);
     let mc_netwealth: f64 =
         mc_out.receivers.iter().map(|&p| u[p]).sum::<f64>() - mc_out.served_cost;
-    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
     let sh_out = sh.run(&u);
     let sh_netwealth: f64 =
         sh_out.receivers.iter().map(|&p| u[p]).sum::<f64>() - sh_out.served_cost;
@@ -113,7 +113,7 @@ fn assignments_returned_by_mechanisms_actually_multicast() {
     for seed in [1u64, 5, 9] {
         let net = network(seed, 6);
         let u = vec![50.0; 5];
-        let jv = EuclideanSteinerMechanism::new(net.clone());
+        let jv = EuclideanSteinerMechanism::new(&net);
         let full = jv.run_full(&u);
         let stations: Vec<usize> = full
             .outcome
@@ -123,7 +123,7 @@ fn assignments_returned_by_mechanisms_actually_multicast() {
             .collect();
         assert!(full.assignment.multicasts_to(&net, &stations));
 
-        let w = WirelessMulticastMechanism::new(net.clone());
+        let w = WirelessMulticastMechanism::new(&net);
         let full = w.run_full(&u);
         let stations: Vec<usize> = full
             .outcome

@@ -1,4 +1,4 @@
-//! Smoke tests pinning the core code path of each of the seven
+//! Smoke tests pinning the core code path of each of the eight
 //! `examples/`, so the examples cannot silently rot: every load-bearing
 //! assertion an example makes when run as a binary is re-asserted here
 //! under `cargo test` (the example sources themselves are compile-checked
@@ -24,28 +24,28 @@ fn quickstart_mechanisms_run_and_cover_cost() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let utilities = vec![24.0, 40.0, 12.0, 2.0, 30.0, 18.0];
 
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = shapley.run(&utilities);
     assert!(
         (out.revenue() - out.served_cost).abs() < 1e-9,
         "Shapley is 1-BB"
     );
 
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
     let out = mc.run(&utilities);
     assert!(
         out.revenue() <= out.served_cost + 1e-9,
         "MC never runs a surplus"
     );
 
-    let steiner = EuclideanSteinerMechanism::new(net.clone());
+    let steiner = EuclideanSteinerMechanism::new(&net);
     let out = steiner.run(&utilities);
     assert!(
         out.revenue() >= out.served_cost - 1e-9,
         "Steiner covers served cost"
     );
 
-    let wireless = WirelessMulticastMechanism::new(net.clone());
+    let wireless = WirelessMulticastMechanism::new(&net);
     let out = wireless.run(&utilities);
     assert!(
         out.revenue() >= out.served_cost - 1e-9,
@@ -127,14 +127,14 @@ fn highway_line_shapley_balances_and_mc_runs_deficit() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 4);
     let utilities = vec![3.0, 8.0, 2.0, 10.0, 9.0, 1.0, 14.0];
 
-    let shapley = LineShapleyMechanism::new(LineSolver::new(net.clone()));
+    let shapley = LineShapleyMechanism::new(LineSolver::new(&net));
     let out = shapley.run(&utilities);
     assert!(
         (out.revenue() - out.served_cost).abs() < 1e-9,
         "line Shapley is 1-BB w.r.t. the chain-form cost"
     );
 
-    let mc = LineMcMechanism::new(LineSolver::new(net.clone()));
+    let mc = LineMcMechanism::new(LineSolver::new(&net));
     let eff = mc.run(&utilities);
     assert!(
         eff.revenue() <= eff.served_cost + 1e-9,
@@ -160,8 +160,8 @@ fn campus_broadcast_shapley_exact_mc_deficit() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let n = net.n_players();
 
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(net.clone()));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
 
     let mut rng = SmallRng::seed_from_u64(42);
     for _session in 0..6 {
@@ -198,8 +198,8 @@ fn live_session_warm_equals_cold_and_balances_every_batch() {
     };
     let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
     let n = net.n_players();
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net.clone()));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(net));
+    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
     let trace = ChurnProcess::new(n, 8, 4, 25.0, 2026).generate();
 
     let mut live = shapley.session();
@@ -257,7 +257,7 @@ fn disaster_relief_truthfulness_holds() {
     let n = net.n_players();
     let utilities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..80.0)).collect();
 
-    let mech = EuclideanSteinerMechanism::new(net.clone());
+    let mech = EuclideanSteinerMechanism::new(&net);
     let truthful = mech.run(&utilities);
     assert!(truthful.revenue() >= truthful.served_cost - 1e-9);
 
@@ -276,4 +276,65 @@ fn disaster_relief_truthfulness_holds() {
         find_unilateral_deviation(&mech, &utilities, 1e-6).is_none(),
         "deviation sweep: no profitable unilateral lie exists"
     );
+}
+
+/// `examples/multi_group.rs`: twelve concurrent groups over one shared
+/// substrate — every step's group-0 outcome byte-identical to a
+/// single-group session on its own substrate, Shapley groups exactly
+/// budget balanced per batch, and the service's event accounting
+/// consistent with the trace.
+#[test]
+fn multi_group_service_isolates_groups_and_balances_budgets() {
+    use multicast_cost_sharing::wireless::ShapleySession;
+
+    let cfg = InstanceConfig {
+        n: 49,
+        dim: 2,
+        kind: InstanceKind::Grid { spacing: 1.5 },
+        seed: 5,
+    };
+    let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
+    let n = net.n_players();
+    let ut = UniversalTree::shortest_path_tree(&net);
+    let trace = MultiGroupProcess::new(n, 12, 6, 30.0, 77).generate();
+    let mut service = MulticastService::new(&ut);
+    for g in 0..trace.groups.len() {
+        service.add_group(GroupMechanism::alternating(g));
+    }
+    let own_substrate = UniversalTree::shortest_path_tree(&net);
+    let mut alone = ShapleySession::new(&own_substrate);
+
+    let mut served_any = false;
+    for b in 0..trace.n_batches() {
+        let batches: Vec<Vec<ChurnEvent>> = trace
+            .groups
+            .iter()
+            .map(|g| g.trace.batches[b].clone())
+            .collect();
+        let outcomes = service.step_all(&batches);
+        let reference = alone.apply_batch(&batches[0]);
+        assert_eq!(outcomes[0].outcome, reference, "isolation violated");
+        for (g, out) in outcomes.iter().enumerate() {
+            served_any |= !out.outcome.receivers.is_empty();
+            if GroupMechanism::alternating(g) == GroupMechanism::Shapley {
+                let stations: Vec<usize> = out
+                    .outcome
+                    .receivers
+                    .iter()
+                    .map(|&p| net.station_of_player(p))
+                    .collect();
+                let c = ut.multicast_cost(&stations);
+                assert!(
+                    (out.outcome.revenue() - c).abs() <= 1e-9 * (1.0 + c),
+                    "group {g} lost budget balance"
+                );
+            }
+        }
+    }
+    assert!(
+        served_any,
+        "the example's trace must actually serve someone"
+    );
+    assert_eq!(service.n_steps(), trace.n_batches());
+    assert_eq!(service.n_events(), trace.n_events());
 }

@@ -25,7 +25,7 @@ proptest! {
     #[test]
     fn universal_shapley_outcome_invariants(seed in 0u64..500, scale in 1.0..100.0f64) {
         let net = network(seed, 6, 2.0);
-        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(net));
+        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xf0f0);
         let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..scale)).collect();
         let out = mech.run(&u);
@@ -48,11 +48,11 @@ proptest! {
         let u = vec![1e9; 5];
         let stations: Vec<usize> = (1..6).collect();
         let (opt, _) = memt_exact(&net, &stations);
-        let jv = EuclideanSteinerMechanism::new(net.clone());
+        let jv = EuclideanSteinerMechanism::new(&net);
         prop_assert!(jv.run(&u).served_cost >= opt - 1e-9);
-        let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(net.clone()));
+        let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
         prop_assert!(sh.run(&u).served_cost >= opt - 1e-9);
-        let w = WirelessMulticastMechanism::new(net);
+        let w = WirelessMulticastMechanism::new(&net);
         prop_assert!(w.run(&u).served_cost >= opt - 1e-9);
     }
 
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn receiver_sets_are_monotone_in_reports(seed in 0u64..200) {
         let net = network(seed, 6, 2.0);
-        let mech = EuclideanSteinerMechanism::new(net);
+        let mech = EuclideanSteinerMechanism::new(&net);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x1dea);
         let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..20.0)).collect();
         let before = mech.run(&u);
@@ -88,8 +88,8 @@ proptest! {
         let scaled: Vec<Point> = xs.iter().map(|&x| Point::on_line(x * s)).collect();
         let nb = WirelessNetwork::euclidean(base, PowerModel::with_alpha(alpha), 0);
         let ns = WirelessNetwork::euclidean(scaled, PowerModel::with_alpha(alpha), 0);
-        let lb = LineSolver::new(nb);
-        let ls = LineSolver::new(ns);
+        let lb = LineSolver::new(&nb);
+        let ls = LineSolver::new(&ns);
         let receivers: Vec<usize> = (1..n).collect();
         let (cb, _) = lb.solve(&receivers);
         let (cs, _) = ls.solve(&receivers);
