@@ -1,0 +1,19 @@
+//! Fixture: idiomatic library code — no violations under any rule.
+use std::collections::BTreeMap;
+
+/// Deterministic tally: BTreeMap iteration order is the key order.
+pub fn tally(xs: &[u64]) -> BTreeMap<u64, usize> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn widest(costs: &[f64]) -> f64 {
+    costs
+        .iter()
+        .cloned()
+        .reduce(f64::max)
+        .expect("caller guarantees a non-empty cost slice")
+}

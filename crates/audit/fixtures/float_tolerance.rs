@@ -1,0 +1,9 @@
+//! Fixture: trips `float-tolerance-literal` (inline epsilon literals).
+
+pub fn budget_balanced(revenue: f64, cost: f64) -> bool {
+    (revenue - cost).abs() < 1e-9
+}
+
+pub fn nearly(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 2.5E-7
+}

@@ -1,0 +1,10 @@
+//! Fixture: trips `lossy-cast` (`as` narrowing onto small integer types).
+
+pub fn node_id(raw: usize) -> u32 {
+    raw as u32
+}
+
+pub fn widening_is_fine(x: u32) -> u64 {
+    // Widening casts are not flagged.
+    x as u64
+}

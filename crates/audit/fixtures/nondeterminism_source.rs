@@ -1,0 +1,17 @@
+//! Fixture: trips `nondeterminism-source` (wall clock + entropy).
+use std::time::Instant;
+
+pub fn elapsed_nanos() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn entropy_seed() -> u64 {
+    // A from_entropy call in result-affecting code is exactly the bug class.
+    let rng = from_entropy();
+    rng
+}
+
+fn from_entropy() -> u64 {
+    0
+}

@@ -1,0 +1,12 @@
+//! Fixture: trips `nondeterministic-iteration` (HashMap + HashSet).
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,10 @@
+//! Fixture: justified pragmas suppressing real violations — clean.
+
+// wmcs-audit: allow(nondeterministic-iteration): lookup-only memo table; iteration order never observed.
+use std::collections::HashMap;
+
+// wmcs-audit: allow(nondeterministic-iteration): lookup-only memo table; iteration order never observed.
+pub fn memo() -> HashMap<u64, f64> {
+    // wmcs-audit: allow(nondeterministic-iteration): lookup-only memo table; iteration order never observed.
+    HashMap::new()
+}

@@ -1,0 +1,20 @@
+//! Fixture: violations inside `#[cfg(test)]` are exempt from the
+//! determinism rules; the file is clean when scanned as Lib.
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwraps_and_hashes_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, double(1));
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert!((0.5f64 - 0.5).abs() < 1e-9);
+    }
+}

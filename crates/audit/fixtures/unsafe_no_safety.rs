@@ -1,0 +1,5 @@
+//! Fixture: trips `unsafe-without-safety-comment`.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` with an adjacent SAFETY comment — clean.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,14 @@
+//! Fixture: trips `unwrap-in-lib` (bare `.unwrap()` in library code).
+
+pub fn cheapest(costs: &[f64]) -> f64 {
+    costs.iter().cloned().reduce(f64::min).unwrap()
+}
+
+pub fn sanctioned(costs: &[f64]) -> f64 {
+    // .expect with an invariant message is the sanctioned form — not flagged.
+    costs
+        .iter()
+        .cloned()
+        .reduce(f64::max)
+        .expect("caller guarantees a non-empty cost slice")
+}

@@ -1,0 +1,588 @@
+//! File classification, pragma handling, rule application and the
+//! workspace walk.
+
+use crate::lexer::{has_negative_exponent, lex, Tok, TokKind};
+use crate::rules::{
+    rule_by_name, Scope, AUDIT_PRAGMA, FLOAT_TOLERANCE_LITERAL, LOSSY_CAST, NONDETERMINISM_SOURCE,
+    NONDETERMINISTIC_ITERATION, UNSAFE_WITHOUT_SAFETY_COMMENT, UNWRAP_IN_LIB,
+};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How a source file participates in the build, which decides the rule set
+/// applied to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source: `crates/*/src/**` (minus `src/bin`) and the root
+    /// facade `src/`. Result-affecting; every rule applies.
+    Lib,
+    /// Binary source: `src/bin/**` and `src/main.rs`. Determinism rules
+    /// apply (bins emit the committed baselines); panicking shortcuts are
+    /// tolerated.
+    Bin,
+    /// Tests, benches and examples. Only the `unsafe` rule applies.
+    Test,
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (see the registry in `rules`).
+    pub rule: &'static str,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Classify a workspace-relative path, or `None` if it is outside the audit
+/// surface (vendored shims, build artifacts, the audit's own fixtures).
+pub fn classify(rel: &Path) -> Option<FileClass> {
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return None;
+    }
+    // Vendored shims are third-party API surface, audited upstream of
+    // this workspace's invariants; target/ is build output.
+    if let Some(&"vendor" | &"target" | &".git") = parts.first() {
+        return None;
+    }
+    // The audit's own rule fixtures intentionally violate every rule.
+    if parts.starts_with(&["crates", "audit", "fixtures"]) {
+        return None;
+    }
+    if parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples"))
+    {
+        return Some(FileClass::Test);
+    }
+    if parts.contains(&"src") {
+        if parts.contains(&"bin") || parts.last() == Some(&"main.rs") {
+            return Some(FileClass::Bin);
+        }
+        return Some(FileClass::Lib);
+    }
+    None
+}
+
+/// A parsed `// wmcs-audit: allow(<rule>): <justification>` pragma.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: &'static str,
+    /// Line of the pragma comment; it covers this line and the next.
+    line: u32,
+    used: bool,
+}
+
+/// Minimum justification length: long enough to force an actual reason,
+/// not a placeholder like "ok".
+const MIN_JUSTIFICATION: usize = 10;
+
+/// Scan one file's source text under the given class. `rel` is the
+/// workspace-relative path used in diagnostics and per-file exceptions.
+pub fn scan_file(rel: &str, src: &str, class: FileClass) -> Vec<Violation> {
+    let toks = lex(src);
+    let in_test = test_region_mask(&toks);
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut suppressions = collect_pragmas(rel, &toks, &mut violations);
+
+    // The float-tolerance home is allowed to define the constants.
+    let is_float_home = rel == "crates/geom/src/float.rs";
+
+    // Indices of non-comment tokens, for neighbour lookups.
+    let code_idx: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut raw: Vec<Violation> = Vec::new();
+    for (ci, &i) in code_idx.iter().enumerate() {
+        let t = &toks[i];
+        let scoped = |scope: Scope| match scope {
+            Scope::Lib => class == FileClass::Lib && !in_test[i],
+            Scope::LibAndBin => class != FileClass::Test && !in_test[i],
+            Scope::Everywhere => true,
+        };
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "HashMap" | "HashSet" if scoped(Scope::LibAndBin) => {
+                    raw.push(violation(
+                        rel,
+                        t.line,
+                        NONDETERMINISTIC_ITERATION,
+                        format!(
+                            "`{}` in result-affecting code: iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet or a sorted Vec",
+                            t.text
+                        ),
+                    ));
+                }
+                "unwrap" if scoped(Scope::Lib) => {
+                    let after_dot = ci > 0 && is_punct(&toks[code_idx[ci - 1]], ".");
+                    let called = ci + 1 < code_idx.len() && is_punct(&toks[code_idx[ci + 1]], "(");
+                    if after_dot && called {
+                        raw.push(violation(
+                            rel,
+                            t.line,
+                            UNWRAP_IN_LIB,
+                            "bare `.unwrap()` in a library crate: state the invariant \
+                             with `.expect(\"…\")` or propagate the error"
+                                .to_string(),
+                        ));
+                    }
+                }
+                "as" if scoped(Scope::LibAndBin) => {
+                    if let Some(&next) = code_idx.get(ci + 1) {
+                        let target = toks[next].text.as_str();
+                        if toks[next].kind == TokKind::Ident
+                            && matches!(target, "u8" | "u16" | "u32" | "i8" | "i16" | "i32")
+                        {
+                            raw.push(violation(
+                                rel,
+                                toks[next].line,
+                                LOSSY_CAST,
+                                format!(
+                                    "`as {target}` silently truncates; use \
+                                     `{target}::try_from(…)` with an invariant message"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                "thread_rng" | "from_entropy" | "Instant" | "SystemTime"
+                    if scoped(Scope::LibAndBin) =>
+                {
+                    raw.push(violation(
+                        rel,
+                        t.line,
+                        NONDETERMINISM_SOURCE,
+                        format!(
+                            "`{}` is a nondeterminism source; wall-clock and entropy \
+                             must never flow into verdicts or shares",
+                            t.text
+                        ),
+                    ));
+                }
+                "unsafe" => {
+                    let documented = toks.iter().any(|c| {
+                        matches!(c.kind, TokKind::LineComment | TokKind::BlockComment)
+                            && c.text.contains("SAFETY:")
+                            && c.line + 3 >= t.line
+                            && c.line <= t.line
+                    });
+                    if !documented {
+                        raw.push(violation(
+                            rel,
+                            t.line,
+                            UNSAFE_WITHOUT_SAFETY_COMMENT,
+                            "`unsafe` without a `// SAFETY:` comment in the three \
+                             preceding lines"
+                                .to_string(),
+                        ));
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Number
+                if scoped(Scope::LibAndBin) && !is_float_home && has_negative_exponent(&t.text) =>
+            {
+                raw.push(violation(
+                    rel,
+                    t.line,
+                    FLOAT_TOLERANCE_LITERAL,
+                    format!(
+                        "inline tolerance literal `{}`: use a named constant from \
+                         wmcs_geom::float (EPS, VP_TOL, BB_TOL, SP_TOL, REL_TOL, …)",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // Apply suppressions: a pragma on line L covers violations on L and L+1.
+    for v in raw {
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.rule == v.rule && (s.line == v.line || s.line + 1 == v.line));
+        match suppressed {
+            Some(s) => s.used = true,
+            None => violations.push(v),
+        }
+    }
+    for s in &suppressions {
+        if !s.used {
+            violations.push(violation(
+                rel,
+                s.line,
+                AUDIT_PRAGMA,
+                format!(
+                    "pragma `allow({})` suppresses nothing on this or the next \
+                     line; remove it",
+                    s.rule
+                ),
+            ));
+        }
+    }
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
+
+/// Parse `wmcs-audit:` pragmas out of the comment tokens. Malformed,
+/// unknown-rule or unjustified pragmas are pushed as violations directly.
+fn collect_pragmas(rel: &str, toks: &[Tok], violations: &mut Vec<Violation>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("wmcs-audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(name, just)| (name.trim(), just));
+        let Some((name, justification)) = parsed else {
+            violations.push(violation(
+                rel,
+                t.line,
+                AUDIT_PRAGMA,
+                format!(
+                    "malformed pragma `{rest}`: expected \
+                     `wmcs-audit: allow(<rule>): <justification>`"
+                ),
+            ));
+            continue;
+        };
+        let Some(rule) = rule_by_name(name) else {
+            violations.push(violation(
+                rel,
+                t.line,
+                AUDIT_PRAGMA,
+                format!("unknown rule `{name}` in allow(…) pragma"),
+            ));
+            continue;
+        };
+        let justification = justification
+            .trim_start_matches([':', '-', '—', ' '])
+            .trim();
+        if justification.len() < MIN_JUSTIFICATION {
+            violations.push(violation(
+                rel,
+                t.line,
+                AUDIT_PRAGMA,
+                format!(
+                    "pragma `allow({name})` lacks a justification: every vetted \
+                     exception must say why it is safe"
+                ),
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            rule: rule.name,
+            line: t.line,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Per-token flag: inside a `#[cfg(test)] mod … { … }` region.
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code = |t: &Tok| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment);
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !code(t) {
+            i += 1;
+            continue;
+        }
+        // Attribute: scan `#[…]`, noting whether it is cfg(test)-like.
+        if is_punct(t, "#") {
+            let mut j = i + 1;
+            while j < toks.len() && !code(&toks[j]) {
+                j += 1;
+            }
+            if j < toks.len() && is_punct(&toks[j], "[") {
+                let mut depth = 0usize;
+                let mut has_cfg = false;
+                let mut has_test = false;
+                while j < toks.len() {
+                    let a = &toks[j];
+                    if is_punct(a, "[") {
+                        depth += 1;
+                    } else if is_punct(a, "]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if a.kind == TokKind::Ident {
+                        has_cfg |= a.text == "cfg";
+                        has_test |= a.text == "test";
+                    }
+                    j += 1;
+                }
+                if has_cfg && has_test {
+                    pending_cfg_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if pending_cfg_test && t.kind == TokKind::Ident && t.text == "mod" {
+            // Find the module body and mark it wholesale.
+            let mut j = i + 1;
+            while j < toks.len() && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+                j += 1;
+            }
+            if j < toks.len() && is_punct(&toks[j], "{") {
+                let mut depth = 0usize;
+                let start = j;
+                while j < toks.len() {
+                    if is_punct(&toks[j], "{") {
+                        depth += 1;
+                    } else if is_punct(&toks[j], "}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take(j.min(toks.len() - 1) + 1).skip(start) {
+                    *m = true;
+                }
+                i = j + 1;
+            } else {
+                i = j + 1;
+            }
+            pending_cfg_test = false;
+            continue;
+        }
+        // Any other code token consumes a pending cfg(test) attribute
+        // (e.g. `#[cfg(test)] use …`): the region heuristic only tracks
+        // whole test modules, which is the convention in this workspace.
+        if pending_cfg_test {
+            pending_cfg_test = false;
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn violation(rel: &str, line: u32, rule: &'static str, message: String) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Collect every auditable `.rs` file under the workspace root, sorted for
+/// deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            if path.is_dir() {
+                let first = rel.iter().next().and_then(|c| c.to_str());
+                if matches!(first, Some("vendor" | "target" | ".git" | ".github")) {
+                    continue;
+                }
+                stack.push(path);
+            } else if classify(&rel).is_some() {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Audit the whole workspace rooted at `root`. Returns all violations plus
+/// the number of files scanned.
+pub fn audit_workspace(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
+    let files = workspace_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let class = classify(rel).expect("workspace_files only returns classified files");
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel
+            .to_str()
+            .expect("workspace paths are valid UTF-8")
+            .replace('\\', "/");
+        violations.extend(scan_file(&rel_str, &src, class));
+    }
+    Ok((violations, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn classification_matches_build_roles() {
+        let c = |p: &str| classify(Path::new(p));
+        assert_eq!(c("crates/game/src/cost.rs"), Some(FileClass::Lib));
+        assert_eq!(c("src/lib.rs"), Some(FileClass::Lib));
+        assert_eq!(
+            c("crates/bench/src/bin/all_experiments.rs"),
+            Some(FileClass::Bin)
+        );
+        assert_eq!(c("crates/audit/src/main.rs"), Some(FileClass::Bin));
+        assert_eq!(
+            c("crates/wireless/tests/session_props.rs"),
+            Some(FileClass::Test)
+        );
+        assert_eq!(
+            c("crates/bench/benches/drop_engine.rs"),
+            Some(FileClass::Test)
+        );
+        assert_eq!(c("examples/quickstart.rs"), Some(FileClass::Test));
+        assert_eq!(c("vendor/rand/src/lib.rs"), None);
+        assert_eq!(c("crates/audit/fixtures/clean.rs"), None);
+        assert_eq!(c("README.md"), None);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_scoped_rules() {
+        let src = "
+fn lib_code() -> usize { 1 }
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let x = 1e-9;
+        let _ = (m.len(), x, Some(2).unwrap());
+    }
+}
+";
+        let vs = scan_file("crates/x/src/lib.rs", src, FileClass::Lib);
+        assert!(vs.is_empty(), "test-module code must be exempt: {vs:?}");
+    }
+
+    #[test]
+    fn lib_code_before_and_after_test_mod_is_still_scanned() {
+        let src = "
+use std::collections::HashMap;
+#[cfg(test)]
+mod tests {}
+fn after() { let _ = 1e-9; }
+";
+        let vs = scan_file("crates/x/src/lib.rs", src, FileClass::Lib);
+        let rules: Vec<&str> = vs.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"nondeterministic-iteration"), "{vs:?}");
+        assert!(rules.contains(&"float-tolerance-literal"), "{vs:?}");
+    }
+
+    #[test]
+    fn pragma_same_line_and_next_line_both_cover() {
+        let src = "
+// wmcs-audit: allow(float-tolerance-literal): pinned paper value, not a tolerance
+const A: f64 = 1e-9;
+const B: f64 = 2e-9; // wmcs-audit: allow(float-tolerance-literal): second pinned paper value
+";
+        let vs = scan_file("crates/x/src/lib.rs", src, FileClass::Lib);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn unused_and_unjustified_pragmas_are_violations() {
+        let src = "
+// wmcs-audit: allow(unwrap-in-lib): nothing here actually unwraps anywhere
+fn fine() {}
+// wmcs-audit: allow(lossy-cast)
+fn cast(x: usize) -> u32 { x as u32 }
+// wmcs-audit: bogus
+fn also_fine() {}
+";
+        let vs = scan_file("crates/x/src/lib.rs", src, FileClass::Lib);
+        let pragma_violations = vs.iter().filter(|v| v.rule == "audit-pragma").count();
+        assert_eq!(pragma_violations, 3, "{vs:?}");
+        // The unjustified allow(lossy-cast) must NOT suppress the cast.
+        assert!(vs.iter().any(|v| v.rule == "lossy-cast"), "{vs:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_applies_even_in_tests_and_accepts_safety_comments() {
+        let bad = "fn f() { let p = 0 as *const u8; unsafe { p.read() }; }";
+        let vs = scan_file("crates/x/tests/t.rs", bad, FileClass::Test);
+        assert!(vs.iter().any(|v| v.rule == "unsafe-without-safety-comment"));
+
+        let good = "
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { p.read() }
+}
+";
+        let vs = scan_file("crates/x/src/lib.rs", good, FileClass::Lib);
+        assert!(
+            !vs.iter().any(|v| v.rule == "unsafe-without-safety-comment"),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn bins_are_exempt_from_unwrap_but_not_determinism() {
+        let src = "fn main() { let _ = Some(1).unwrap(); let _ = 1e-9; }";
+        let vs = scan_file("crates/bench/src/bin/x.rs", src, FileClass::Bin);
+        assert!(!vs.iter().any(|v| v.rule == "unwrap-in-lib"), "{vs:?}");
+        assert!(
+            vs.iter().any(|v| v.rule == "float-tolerance-literal"),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn float_home_may_define_tolerances() {
+        let src = "pub const EPS: f64 = 1e-9;";
+        let vs = scan_file("crates/geom/src/float.rs", src, FileClass::Lib);
+        assert!(vs.is_empty(), "{vs:?}");
+        let vs = scan_file("crates/geom/src/power.rs", src, FileClass::Lib);
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn string_and_comment_content_never_trips_rules() {
+        let src = r#"
+// HashMap, unwrap(), 1e-9, Instant::now() — all just prose.
+fn f() -> &'static str { "HashMap 1e-9 unsafe unwrap Instant" }
+"#;
+        let vs = scan_file("crates/x/src/lib.rs", src, FileClass::Lib);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+}

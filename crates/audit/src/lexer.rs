@@ -1,0 +1,360 @@
+//! A minimal, lossless-enough Rust lexer for static auditing.
+//!
+//! The audit rules only need to see *code* identifiers, number literals and
+//! punctuation, plus the comments (for pragmas and `SAFETY:` annotations) —
+//! while never being fooled by rule-triggering text inside string literals,
+//! doc comments, or char literals. This lexer classifies exactly that much:
+//! it is not a full Rust grammar, but it handles nested block comments, raw
+//! strings (`r#"…"#`, any hash depth), byte strings, escapes, lifetimes vs
+//! char literals, and exponent-form float literals (`1e-9`, `2.5E-12`),
+//! which is everything the rules in this crate key on.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unwrap`, `unsafe`, `as`, …).
+    Ident,
+    /// Numeric literal, including float exponent forms and suffixes.
+    Number,
+    /// String literal of any flavour (plain, raw, byte); text excludes quotes.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Line comment, `//` included in the text (covers `///` and `//!`).
+    LineComment,
+    /// Block comment (possibly nested), delimiters included in the text.
+    BlockComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (see per-kind notes on [`TokKind`]).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Lex `src` into audit tokens. Never fails: bytes the lexer does not
+/// understand are emitted as single-character [`TokKind::Punct`] tokens, so
+/// a syntactically broken file degrades to weaker auditing, not a crash.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            toks.push(tok(TokKind::LineComment, &chars[start..i], line));
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(tok(TokKind::BlockComment, &chars[start..i], start_line));
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, br"…", br#"…"# (any hash depth).
+        if c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')) {
+            let after_prefix = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            while chars.get(after_prefix + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if chars.get(after_prefix + hashes) == Some(&'"') {
+                let start_line = line;
+                let mut j = after_prefix + hashes + 1;
+                let body_start = j;
+                let mut body_end = chars.len();
+                while j < chars.len() {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if chars[j] == '"' && (0..hashes).all(|h| chars.get(j + 1 + h) == Some(&'#')) {
+                        body_end = j;
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(tok(TokKind::Str, &chars[body_start..body_end], start_line));
+                i = j;
+                continue;
+            }
+            // Not a raw string: fall through to identifier handling below.
+        }
+        // Byte strings / byte chars: b"…", b'…'.
+        if c == 'b' && matches!(chars.get(i + 1), Some('"' | '\'')) {
+            let quote = chars[i + 1];
+            let (j, nl, body) = scan_quoted(&chars, i + 1, quote);
+            let kind = if quote == '"' {
+                TokKind::Str
+            } else {
+                TokKind::CharLit
+            };
+            toks.push(Tok {
+                kind,
+                text: body,
+                line,
+            });
+            line += nl;
+            i = j;
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            let (j, nl, body) = scan_quoted(&chars, i, '"');
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: body,
+                line,
+            });
+            line += nl;
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char = chars.get(i + 1) == Some(&'\\')
+                || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''));
+            if is_char {
+                let (j, nl, body) = scan_quoted(&chars, i, '\'');
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: body,
+                    line,
+                });
+                line += nl;
+                i = j;
+                continue;
+            }
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Lifetime, &chars[start..i], line));
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Ident, &chars[start..i], line));
+            continue;
+        }
+        // Numbers, including `1_000`, `0xff`, `1.5`, `1e-9`, `2.5E+3f64`.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+                i += 2;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < chars.len() {
+                    let ch = chars[i];
+                    if ch.is_ascii_digit() || ch == '_' {
+                        i += 1;
+                    } else if ch == '.' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // Consume `.` only into `1.5`, never `1..n` / `1.max(…)`.
+                        i += 1;
+                    } else if matches!(ch, 'e' | 'E')
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        i += 2;
+                    } else if matches!(ch, 'e' | 'E')
+                        && matches!(chars.get(i + 1), Some('+' | '-'))
+                        && chars.get(i + 2).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        i += 3;
+                    } else if ch.is_ascii_alphabetic() {
+                        // Type suffix (`f64`, `u32`, `usize`).
+                        while i < chars.len()
+                            && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                        {
+                            i += 1;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            toks.push(tok(TokKind::Number, &chars[start..i], line));
+            continue;
+        }
+        // Everything else: one punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// True if a decimal number literal carries a negative exponent (`1e-9`).
+pub fn has_negative_exponent(number_text: &str) -> bool {
+    !number_text.starts_with("0x")
+        && !number_text.starts_with("0X")
+        && (number_text.contains("e-") || number_text.contains("E-"))
+}
+
+fn tok(kind: TokKind, chars: &[char], line: u32) -> Tok {
+    Tok {
+        kind,
+        text: chars.iter().collect(),
+        line,
+    }
+}
+
+/// Scan a quoted literal starting at the opening quote `chars[open]`.
+/// Returns `(index past the closing quote, newlines crossed, body text)`.
+fn scan_quoted(chars: &[char], open: usize, quote: char) -> (usize, u32, String) {
+    let mut j = open + 1;
+    let mut newlines = 0u32;
+    let body_start = j;
+    let mut body_end = chars.len();
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            ch if ch == quote => {
+                body_end = j;
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        j,
+        newlines,
+        chars[body_start..body_end.min(chars.len())]
+            .iter()
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_rule_triggers() {
+        let ts = kinds(r#"let s = "HashMap 1e-9 unwrap";"#);
+        assert!(ts
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || (t != "HashMap" && t != "unwrap")));
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let ts = kinds(r##"let s = r#"a "quoted" 1e-9"#; let t = 2;"##);
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quoted")));
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Number && t == "2"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = lex("/* a /* b */ c */\nlet x = 1;\n");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        let x = toks.iter().find(|t| t.text == "x").expect("ident x");
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn exponent_forms() {
+        let toks = lex("let a = 1e-9; let b = 2.5E-12f64; let c = 1e9; let d = 0..n;");
+        let nums: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Number).collect();
+        assert_eq!(nums[0].text, "1e-9");
+        assert!(has_negative_exponent(&nums[0].text));
+        assert_eq!(nums[1].text, "2.5E-12f64");
+        assert!(has_negative_exponent(&nums[1].text));
+        assert!(!has_negative_exponent(&nums[2].text));
+        // `0..n` must not swallow the range dots.
+        assert_eq!(nums[3].text, "0");
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_merged() {
+        let toks = lex("let a = 1.max(2);");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "max"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::CharLit && t.text == "x"));
+    }
+
+    #[test]
+    fn comments_keep_their_text_for_pragmas() {
+        let toks = lex("// wmcs-audit: allow(x): why\nlet y = 1;");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("wmcs-audit"));
+        assert_eq!(toks[0].line, 1);
+    }
+}

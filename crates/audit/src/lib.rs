@@ -1,0 +1,41 @@
+//! # wmcs-audit — workspace determinism & numeric-safety lint pass
+//!
+//! Every guarantee this repository sells — exact budget-balance and
+//! voluntary-participation gates, warm ≡ cold byte-identity,
+//! thread-count-independent sweep tables — rests on determinism invariants
+//! that the compiler does not enforce. PR 3's EPS tie-break drift in
+//! `largest_efficient_set` was exactly such a bug: semantically invisible,
+//! caught only because a byte-identity gate happened to cover it. This
+//! crate enforces the invariant *class* statically, at CI time.
+//!
+//! ## How it works
+//!
+//! A comment- and string-aware token scanner ([`lexer`]) walks every
+//! workspace `.rs` source; a rule registry ([`rules`]) defines six
+//! invariants; the engine ([`engine`]) classifies files by build role
+//! (library / binary / test), exempts `#[cfg(test)]` modules from the
+//! result-determinism rules, and honours inline pragmas for vetted
+//! exceptions:
+//!
+//! ```text
+//! // wmcs-audit: allow(<rule>): <justification, ≥ 10 chars>
+//! ```
+//!
+//! A pragma covers its own line and the next. A pragma without a real
+//! justification, naming an unknown rule, or suppressing nothing is itself
+//! a violation (`audit-pragma`), so the exception list can never rot
+//! silently.
+//!
+//! The `wmcs-audit` binary (`cargo run -p wmcs-audit`) exits non-zero on
+//! any violation and is wired into CI next to clippy (which backs the
+//! rules it can express via `clippy.toml` `disallowed-types` /
+//! `disallowed-methods`) — see DESIGN.md §5 for the rule table.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{audit_workspace, classify, scan_file, workspace_files, FileClass, Violation};
+pub use rules::{rule_by_name, Rule, Scope, RULES};

@@ -1,0 +1,100 @@
+//! The `wmcs-audit` binary: scan the workspace (or explicit files) and
+//! exit non-zero on violations.
+//!
+//! ```text
+//! wmcs-audit                     # audit the whole workspace
+//! wmcs-audit --list-rules        # print the rule table
+//! wmcs-audit --class lib F.rs    # audit explicit files under a class
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use wmcs_audit::{audit_workspace, scan_file, FileClass, Violation, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut class = FileClass::Lib;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<30} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--class" => {
+                i += 1;
+                class = match args.get(i).map(String::as_str) {
+                    Some("lib") => FileClass::Lib,
+                    Some("bin") => FileClass::Bin,
+                    Some("test") => FileClass::Test,
+                    other => {
+                        eprintln!("wmcs-audit: bad --class {other:?} (lib|bin|test)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: wmcs-audit [--list-rules] [--class lib|bin|test] [FILES…]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("wmcs-audit: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+
+    let (violations, scanned) = if files.is_empty() {
+        // Workspace root: two levels up from this crate's manifest.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."));
+        match audit_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("wmcs-audit: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut all: Vec<Violation> = Vec::new();
+        for f in &files {
+            let src = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("wmcs-audit: cannot read {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            };
+            all.extend(scan_file(&f.display().to_string(), &src, class));
+        }
+        let n = files.len();
+        (all, n)
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "wmcs-audit: clean ({scanned} files scanned, {} rules)",
+            RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "wmcs-audit: {} violation(s) in {scanned} files scanned",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,115 @@
+//! The audit rule registry.
+//!
+//! Every rule is motivated by a concrete reproducibility invariant this
+//! workspace gates in CI (exact budget balance, warm ≡ cold byte-identity,
+//! thread-count-independent sweep tables — see ROADMAP "Verification
+//! posture"). The table here is the single source of truth: the binary's
+//! `--list-rules` output, pragma validation, and README/DESIGN.md rule
+//! documentation all derive from it.
+
+/// Where a rule applies (see `FileClass` in the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Library sources only (`crates/*/src`, root `src/`), outside
+    /// `#[cfg(test)]` regions.
+    Lib,
+    /// Library and binary sources, outside `#[cfg(test)]` regions.
+    LibAndBin,
+    /// Every audited file, including tests, benches and examples.
+    Everywhere,
+}
+
+/// One statically enforced invariant.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Rule name, as used in diagnostics and `allow(…)` pragmas.
+    pub name: &'static str,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// Which files the rule scans.
+    pub scope: Scope,
+}
+
+/// No `HashMap`/`HashSet` in result-affecting code: hashed iteration order
+/// is nondeterministic and has already caused real verdict drift of the
+/// EPS-tie-break class (PR 3).
+pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
+/// No inline `1e-9`-style epsilon literals: every tolerance is a named,
+/// documented constant in `wmcs_geom::float`.
+pub const FLOAT_TOLERANCE_LITERAL: &str = "float-tolerance-literal";
+/// No bare `.unwrap()` in library crates: use `.expect("invariant …")` or
+/// propagate the error.
+pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
+/// No `as` narrowing onto small integer types: use `::try_from` (or a
+/// pragma proving the range) ahead of the u32 node-id memory diet.
+pub const LOSSY_CAST: &str = "lossy-cast";
+/// No wall-clock or entropy sources in result-affecting code paths.
+pub const NONDETERMINISM_SOURCE: &str = "nondeterminism-source";
+/// Every `unsafe` needs an adjacent `// SAFETY:` comment.
+pub const UNSAFE_WITHOUT_SAFETY_COMMENT: &str = "unsafe-without-safety-comment";
+/// Meta rule: malformed, unjustified, unknown-rule or unused
+/// `wmcs-audit:` pragmas are themselves violations.
+pub const AUDIT_PRAGMA: &str = "audit-pragma";
+
+/// The six content rules, in diagnostic order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: NONDETERMINISTIC_ITERATION,
+        summary: "no HashMap/HashSet in result-affecting crates; use BTreeMap/BTreeSet \
+                  or a sorted Vec so iteration order can never reach a verdict",
+        scope: Scope::LibAndBin,
+    },
+    Rule {
+        name: FLOAT_TOLERANCE_LITERAL,
+        summary: "no inline 1e-9-style tolerance literals outside wmcs_geom::float; \
+                  comparisons go through named, documented constants (EPS, VP_TOL, \
+                  BB_TOL, SP_TOL, REL_TOL, FEAS_TOL)",
+        scope: Scope::LibAndBin,
+    },
+    Rule {
+        name: UNWRAP_IN_LIB,
+        summary: "no bare .unwrap() in library crates; state the invariant with \
+                  .expect(\"…\") or propagate the error (bins/tests/benches exempt)",
+        scope: Scope::Lib,
+    },
+    Rule {
+        name: LOSSY_CAST,
+        summary: "no `as` narrowing onto u8/u16/u32/i8/i16/i32; use ::try_from with \
+                  an invariant message (prepares the u32 node-id memory diet)",
+        scope: Scope::LibAndBin,
+    },
+    Rule {
+        name: NONDETERMINISM_SOURCE,
+        summary: "no thread_rng/from_entropy/Instant/SystemTime in result-affecting \
+                  code; wall-clock and entropy must never flow into verdicts or shares",
+        scope: Scope::LibAndBin,
+    },
+    Rule {
+        name: UNSAFE_WITHOUT_SAFETY_COMMENT,
+        summary: "every `unsafe` carries a `// SAFETY:` comment within the three \
+                  preceding lines (applies everywhere, tests included)",
+        scope: Scope::Everywhere,
+    },
+];
+
+/// Look a rule up by pragma name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        assert_eq!(RULES.len(), 6);
+        assert!(rule_by_name(UNWRAP_IN_LIB).is_some());
+        assert!(rule_by_name("no-such-rule").is_none());
+        // Names are kebab-case and unique.
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(r.name.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            assert!(RULES[i + 1..].iter().all(|s| s.name != r.name));
+        }
+    }
+}

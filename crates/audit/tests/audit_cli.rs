@@ -1,0 +1,160 @@
+//! End-to-end tests for the `wmcs-audit` binary: one fixture per rule must
+//! fail with the right diagnostic, clean fixtures must pass, and the
+//! workspace itself must self-audit clean.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wmcs-audit"))
+        .args(args)
+        .output()
+        .expect("wmcs-audit binary spawns")
+}
+
+fn audit_lib(name: &str) -> (i32, String) {
+    let out = run(&["--class", "lib", &fixture(name)]);
+    let code = out.status.code().expect("binary exits normally");
+    (
+        code,
+        String::from_utf8(out.stdout).expect("diagnostics are UTF-8"),
+    )
+}
+
+#[test]
+fn rule_fixtures_fail_with_their_diagnostic() {
+    for (file, rule, needle) in [
+        (
+            "nondeterministic_iteration.rs",
+            "nondeterministic-iteration",
+            "HashMap",
+        ),
+        ("float_tolerance.rs", "float-tolerance-literal", "1e-9"),
+        ("unwrap_in_lib.rs", "unwrap-in-lib", ".unwrap()"),
+        ("lossy_cast.rs", "lossy-cast", "u32"),
+        (
+            "nondeterminism_source.rs",
+            "nondeterminism-source",
+            "Instant",
+        ),
+        (
+            "unsafe_no_safety.rs",
+            "unsafe-without-safety-comment",
+            "SAFETY",
+        ),
+    ] {
+        let (code, stdout) = audit_lib(file);
+        assert_eq!(code, 1, "{file} must fail the audit:\n{stdout}");
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "{file} must report [{rule}]:\n{stdout}"
+        );
+        assert!(
+            stdout.contains(needle),
+            "{file} diagnostic must mention {needle}:\n{stdout}"
+        );
+        // Diagnostics carry file:line anchors.
+        assert!(
+            stdout.contains(&format!("{file}:")) || stdout.contains(&fixture(file)),
+            "{file} diagnostic must be file:line anchored:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_pass() {
+    for file in [
+        "clean.rs",
+        "unsafe_with_safety.rs",
+        "pragma_ok.rs",
+        "test_mod.rs",
+    ] {
+        let (code, stdout) = audit_lib(file);
+        assert_eq!(code, 0, "{file} must audit clean:\n{stdout}");
+        assert!(stdout.contains("clean"), "{stdout}");
+    }
+}
+
+#[test]
+fn unjustified_pragma_is_a_violation_and_suppresses_nothing() {
+    let (code, stdout) = audit_lib("pragma_unjustified.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[audit-pragma]"), "{stdout}");
+    // The suppression is void, so the underlying HashSet violation fires too.
+    assert!(stdout.contains("[nondeterministic-iteration]"), "{stdout}");
+}
+
+#[test]
+fn unused_pragma_is_a_violation() {
+    let (code, stdout) = audit_lib("pragma_unused.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[audit-pragma]"), "{stdout}");
+    assert!(stdout.contains("suppresses nothing"), "{stdout}");
+}
+
+#[test]
+fn unwrap_fixture_passes_when_classed_as_test() {
+    // Tests/benches are exempt from the unwrap and determinism rules.
+    let out = run(&["--class", "test", &fixture("unwrap_in_lib.rs")]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn list_rules_names_all_six() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("UTF-8");
+    for rule in [
+        "nondeterministic-iteration",
+        "float-tolerance-literal",
+        "unwrap-in-lib",
+        "lossy-cast",
+        "nondeterminism-source",
+        "unsafe-without-safety-comment",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn bad_flags_exit_2() {
+    assert_eq!(run(&["--no-such-flag"]).status.code(), Some(2));
+    assert_eq!(run(&["--class", "bogus"]).status.code(), Some(2));
+}
+
+#[test]
+fn workspace_self_audit_is_clean() {
+    // The whole repository must satisfy its own lint pass; this is the same
+    // invocation CI runs.
+    let out = run(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(0), "self-audit failed:\n{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn workspace_self_audit_via_library_api() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the workspace root")
+        .to_path_buf();
+    let (violations, scanned) =
+        wmcs_audit::audit_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        violations.is_empty(),
+        "workspace has violations: {violations:?}"
+    );
+    assert!(
+        scanned > 100,
+        "expected >100 workspace sources, got {scanned}"
+    );
+}

@@ -259,7 +259,10 @@ impl<'a> Parser<'a> {
                     // Copy one UTF-8 scalar verbatim.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("Some(_) arm: at least one byte remains");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -484,7 +487,7 @@ pub fn compare_summaries(
             "  {:>4}  {:>10.4}s → {:>10.4}s per seed-cell  ({:+.1}%)",
             b.id, b_norm, c_norm, delta
         )
-        .unwrap();
+        .expect("write! to String is infallible");
         if let Some(tol) = tolerance {
             if b_norm > 0.0 && c_norm > b_norm * (1.0 + tol) {
                 drifts.push(format!(

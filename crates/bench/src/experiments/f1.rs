@@ -7,7 +7,7 @@
 use crate::harness::{random_nwst_scenario, random_utilities};
 use crate::registry::{count_true, Experiment, Obs, RowSummary};
 use wmcs_game::{find_group_deviation, find_unilateral_deviation, Mechanism};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, SP_TOL, SP_TOL_APPROX, VP_TOL};
 use wmcs_mechanisms::{fig1_instance, NwstCostSharingMechanism};
 
 /// Terminals drawn per scenario instance.
@@ -58,8 +58,8 @@ impl Experiment for F1 {
         let (g, terminals) = random_nwst_scenario(scenario, seed, K);
         let mech = NwstCostSharingMechanism::new(g, terminals);
         let u = random_utilities(seed ^ 0xf1f1, K, 6.0);
-        let unilateral = find_unilateral_deviation(&mech, &u, 1e-6).is_some();
-        let group = find_group_deviation(&mech, &u, 2, 1e-6).is_some();
+        let unilateral = find_unilateral_deviation(&mech, &u, SP_TOL_APPROX).is_some();
+        let group = find_group_deviation(&mech, &u, 2, SP_TOL_APPROX).is_some();
         vec![f64::from(unilateral), f64::from(group)]
     }
 
@@ -83,11 +83,11 @@ impl Experiment for F1 {
         let paper_truth = [1.5, 1.5, 1.5, 0.0];
         let paper_coll = [5.0 / 3.0, 5.0 / 3.0, 5.0 / 3.0, 0.0];
         let all_match = (0..4).all(|p| {
-            (truthful.welfare(p, &u) - paper_truth[p]).abs() < 1e-9
-                && (colluded.welfare(p, &u) - paper_coll[p]).abs() < 1e-9
+            (truthful.welfare(p, &u) - paper_truth[p]).abs() < VP_TOL
+                && (colluded.welfare(p, &u) - paper_coll[p]).abs() < VP_TOL
         });
-        let sp = find_unilateral_deviation(&mech, &u, 1e-7).is_none();
-        let gsp_broken = find_group_deviation(&mech, &u, 4, 1e-7).is_some();
+        let sp = find_unilateral_deviation(&mech, &u, SP_TOL).is_none();
+        let gsp_broken = find_group_deviation(&mech, &u, 4, SP_TOL).is_some();
         vec![RowSummary::gated(
             vec![
                 "Fig. 1 (pinned)".into(),

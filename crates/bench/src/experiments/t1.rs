@@ -9,7 +9,7 @@ use wmcs_game::{
     find_group_deviation, find_unilateral_deviation, is_nondecreasing, is_submodular, CostFunction,
     ExplicitGame,
 };
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, REL_TOL, SP_TOL};
 use wmcs_mechanisms::{UniversalMcMechanism, UniversalShapleyMechanism};
 use wmcs_wireless::{UniversalTree, UniversalTreeCost, WirelessNetwork};
 
@@ -56,10 +56,10 @@ fn one_tree(net: &WirelessNetwork, seed: u64, use_mst: bool) -> [f64; 5] {
     // Deviation sweeps on the Shapley mechanism.
     let sh = UniversalShapleyMechanism::new(ut);
     let mut deviations = 0;
-    if find_unilateral_deviation(&sh, &u, 1e-7).is_some() {
+    if find_unilateral_deviation(&sh, &u, SP_TOL).is_some() {
         deviations += 1;
     }
-    if players <= 6 && find_group_deviation(&sh, &u, 2, 1e-7).is_some() {
+    if players <= 6 && find_group_deviation(&sh, &u, 2, SP_TOL).is_some() {
         deviations += 1;
     }
     [
@@ -134,7 +134,7 @@ impl Experiment for T1 {
                 format!("{eff:.6}"),
                 devs.to_string(),
             ],
-            submod && mono && bb < 1e-6 && (eff - 1.0).abs() < 1e-6 && devs == 0,
+            submod && mono && bb < REL_TOL && (eff - 1.0).abs() < REL_TOL && devs == 0,
         )
     }
 

@@ -24,7 +24,7 @@
 
 use crate::harness::{random_utilities, scenario_network};
 use crate::registry::{all_true, fmax, mean, Experiment, Obs, RowSummary};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, BB_TOL, EPS, VP_TOL};
 use wmcs_wireless::incremental::{reference_drop_run, shapley_drop_run_with_stats, NetWorthOracle};
 use wmcs_wireless::UniversalTree;
 
@@ -74,14 +74,17 @@ impl Experiment for T10 {
         // Utilities scaled to the per-player broadcast cost so runs mix
         // served receivers with genuine drop cascades at every n.
         let broadcast = ut.multicast_cost(&net.non_source_stations());
-        let hi = (2.0 * broadcast / n_players as f64).max(1e-9);
+        let hi = (2.0 * broadcast / n_players as f64).max(EPS);
         let u = random_utilities(seed ^ 0x5ca1e, n_players, hi);
 
         // M(Shapley) through the incremental engine.
         let (out, stats) = shapley_drop_run_with_stats(&ut, &u);
         let frac = out.receivers.len() as f64 / n_players as f64;
         let rel_bb = (out.revenue() - out.served_cost).abs() / out.served_cost.max(1.0);
-        let vp_ok = out.receivers.iter().all(|&p| out.shares[p] <= u[p] + 1e-9);
+        let vp_ok = out
+            .receivers
+            .iter()
+            .all(|&p| out.shares[p] <= u[p] + VP_TOL);
 
         // Identity against the naive reference where the naive driver is
         // still tractable.
@@ -105,7 +108,7 @@ impl Experiment for T10 {
         for &x in &mc_stations {
             let nw_minus = oracle.net_worth_zeroing(x);
             let pay = (u_st[x] - (nw - nw_minus)).max(0.0);
-            if pay > u_st[x] + 1e-9 * (1.0 + u_st[x].abs()) {
+            if pay > u_st[x] + VP_TOL * (1.0 + u_st[x].abs()) {
                 mc_ok = false; // VP violation: externality exceeded the report
             }
             if scenario.n <= 64 {
@@ -113,7 +116,7 @@ impl Experiment for T10 {
                 let mut u_minus = u_st.clone();
                 u_minus[x] = 0.0;
                 let full = ut.net_worth(&u_minus);
-                if (full - nw_minus).abs() > 1e-9 * (1.0 + full.abs()) {
+                if (full - nw_minus).abs() > VP_TOL * (1.0 + full.abs()) {
                     mc_ok = false;
                 }
             }
@@ -122,7 +125,8 @@ impl Experiment for T10 {
         // outcome's welfare under the same tree cost.
         let shapley_welfare: f64 =
             out.receivers.iter().map(|&p| u[p]).sum::<f64>() - out.served_cost;
-        let dominance_ok = nw + 1e-9 * (1.0 + nw.abs() + shapley_welfare.abs()) >= shapley_welfare;
+        let dominance_ok =
+            nw + VP_TOL * (1.0 + nw.abs() + shapley_welfare.abs()) >= shapley_welfare;
 
         vec![
             frac,
@@ -151,7 +155,7 @@ impl Experiment for T10 {
                 ident.to_string(),
                 format!("{vp}/{mc}"),
             ],
-            bb < 1e-8 && ident && vp && mc,
+            bb < BB_TOL && ident && vp && mc,
         )
     }
 

@@ -24,7 +24,7 @@
 
 use crate::harness::scenario_network;
 use crate::registry::{all_true, fmax, mean, Experiment, Obs, RowSummary};
-use wmcs_geom::{ChurnProcess, LayoutFamily, Scenario};
+use wmcs_geom::{ChurnProcess, LayoutFamily, Scenario, BB_TOL, EPS, VP_TOL};
 use wmcs_wireless::incremental::{shapley_drop_run_from, NetWorthOracle};
 use wmcs_wireless::session::{vcg_outcome, McSession, ShapleySession};
 use wmcs_wireless::UniversalTree;
@@ -75,7 +75,7 @@ impl Experiment for T11 {
         // Bids scaled to the per-player broadcast cost so traces mix
         // served receivers with genuine drop cascades (the T10 regime).
         let broadcast = ut.multicast_cost(&net.non_source_stations());
-        let hi = (2.0 * broadcast / n_players as f64).max(1e-9);
+        let hi = (2.0 * broadcast / n_players as f64).max(EPS);
 
         let mut max_bb = 0.0f64;
         let mut vp_ok = true;
@@ -113,7 +113,7 @@ impl Experiment for T11 {
                 vp_ok &= out
                     .receivers
                     .iter()
-                    .all(|&p| out.shares[p] <= bids[p] + 1e-9);
+                    .all(|&p| out.shares[p] <= bids[p] + VP_TOL);
                 // Warm = cold byte-identity where the cold rebuild is
                 // cheap enough to run per batch.
                 if scenario.n <= 256 {
@@ -130,7 +130,7 @@ impl Experiment for T11 {
                 mc_ok &= eff
                     .receivers
                     .iter()
-                    .all(|&p| eff.shares[p] <= mc_bids[p] + 1e-9 * (1.0 + mc_bids[p].abs()));
+                    .all(|&p| eff.shares[p] <= mc_bids[p] + VP_TOL * (1.0 + mc_bids[p].abs()));
                 if scenario.n <= 256 {
                     let cold = vcg_outcome(&ut, &NetWorthOracle::new(&ut, mc.station_utilities()));
                     mc_ok &= cold.receivers == eff.receivers
@@ -167,7 +167,7 @@ impl Experiment for T11 {
                 ident.to_string(),
                 format!("{vp}/{mc}"),
             ],
-            bb < 1e-8 && ident && vp && mc,
+            bb < BB_TOL && ident && vp && mc,
         )
     }
 

@@ -28,7 +28,7 @@
 
 use crate::harness::scenario_network;
 use crate::registry::{all_true, fmax, mean, Experiment, Obs, RowSummary};
-use wmcs_geom::{LayoutFamily, MultiGroupProcess, Scenario};
+use wmcs_geom::{LayoutFamily, MultiGroupProcess, Scenario, BB_TOL, EPS, VP_TOL};
 use wmcs_wireless::{GroupMechanism, GroupSession, MulticastService, UniversalTree};
 
 /// Churn batches per group (after the per-group warm-up batch).
@@ -80,7 +80,7 @@ impl Experiment for T12 {
         // Bids scaled to the per-player broadcast cost (the T10/T11
         // regime): groups mix served receivers with drop cascades.
         let broadcast = ut.multicast_cost(&net.non_source_stations());
-        let hi = (2.0 * broadcast / n_players as f64).max(1e-9);
+        let hi = (2.0 * broadcast / n_players as f64).max(EPS);
         let trace = MultiGroupProcess::new(n_players, g, BATCHES, hi, seed ^ 0x5e7f).generate();
 
         let build = |threads: usize| {
@@ -144,7 +144,7 @@ impl Experiment for T12 {
                 vp_ok &= out
                     .receivers
                     .iter()
-                    .all(|&p| out.shares[p] <= bids[p] + 1e-9 * (1.0 + bids[p].abs()));
+                    .all(|&p| out.shares[p] <= bids[p] + VP_TOL * (1.0 + bids[p].abs()));
                 let size = trace.groups[i].members.len();
                 served += out.receivers.len() as f64 / size as f64;
                 served_cells += 1;
@@ -176,7 +176,7 @@ impl Experiment for T12 {
                 shard.to_string(),
                 format!("{iso}/{vp}"),
             ],
-            bb < 1e-8 && shard && iso && vp,
+            bb < BB_TOL && shard && iso && vp,
         )
     }
 

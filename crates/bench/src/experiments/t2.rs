@@ -5,7 +5,7 @@
 use crate::harness::{nwst_terminals_for, random_nwst_scenario, random_utilities};
 use crate::registry::{all_true, count_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{find_unilateral_deviation, Mechanism};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, REL_TOL, SP_TOL_APPROX, VP_TOL};
 use wmcs_mechanisms::NwstCostSharingMechanism;
 use wmcs_nwst::nwst_exact_cost;
 
@@ -62,7 +62,7 @@ impl Experiment for T2 {
         let Some(exact) = nwst_exact_cost(&g, &terminals) else {
             return vec![];
         };
-        if exact < 1e-6 {
+        if exact < REL_TOL {
             // Degenerate draw: the terminals connect for free, so the
             // competitiveness ratio is undefined. Skip.
             return vec![];
@@ -73,10 +73,10 @@ impl Experiment for T2 {
         let out = mech.run(&vec![1e9; k]);
         let ratio = out.revenue() / exact;
         let tree_ratio = out.served_cost / exact;
-        let recovered = out.revenue() + 1e-9 >= out.served_cost;
+        let recovered = out.revenue() + VP_TOL >= out.served_cost;
         // Strategyproofness on a random modest profile.
         let u = random_utilities(seed ^ 0xfee1, k, 6.0);
-        let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some();
+        let deviation = find_unilateral_deviation(&mech, &u, SP_TOL_APPROX).is_some();
         vec![
             ratio,
             tree_ratio,
@@ -108,7 +108,7 @@ impl Experiment for T2 {
                 recovered.to_string(),
                 count_true(obs, 3).to_string(),
             ],
-            max <= bound + 1e-6 && recovered,
+            max <= bound + REL_TOL && recovered,
         )
     }
 

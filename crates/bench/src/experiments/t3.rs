@@ -5,7 +5,7 @@
 use crate::harness::{random_utilities, scenario_network};
 use crate::registry::{all_true, count_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_game::find_unilateral_deviation;
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, REL_TOL, SP_TOL_APPROX, VP_TOL};
 use wmcs_mechanisms::WirelessMulticastMechanism;
 use wmcs_wireless::memt_exact;
 
@@ -71,9 +71,9 @@ impl Experiment for T3 {
             .collect();
         let feasible = out.assignment.multicasts_to(&net, &stations);
         let ratio = out.outcome.revenue() / opt;
-        let recovered = out.outcome.revenue() + 1e-9 >= out.outcome.served_cost;
+        let recovered = out.outcome.revenue() + VP_TOL >= out.outcome.served_cost;
         let u = random_utilities(seed ^ 0xd00d, k, 40.0);
-        let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some();
+        let deviation = find_unilateral_deviation(&mech, &u, SP_TOL_APPROX).is_some();
         vec![
             ratio,
             f64::from(recovered),
@@ -100,7 +100,7 @@ impl Experiment for T3 {
                 feasible.to_string(),
                 count_true(obs, 3).to_string(),
             ],
-            max <= bound + 1e-6 && recovered && feasible,
+            max <= bound + REL_TOL && recovered && feasible,
         )
     }
 

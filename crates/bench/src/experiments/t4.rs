@@ -10,7 +10,7 @@
 use crate::harness::scenario_network;
 use crate::registry::{all_true, fmax, fmin, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{is_submodular, CostFunction, ExplicitGame, Mechanism};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, REL_TOL, VP_TOL};
 use wmcs_mechanisms::{AlphaOneShapleyMechanism, LineShapleyMechanism};
 use wmcs_wireless::{
     memt_exact, AlphaOneCost, AlphaOneSolver, LineCost, LineSolver, WirelessNetwork,
@@ -26,7 +26,7 @@ fn alpha_one(net: WirelessNetwork) -> Obs {
         .filter(|&x| x != net.source())
         .collect();
     let (opt, _) = memt_exact(&net, &all);
-    let exact_match = (solver.optimal_cost(&all) - opt).abs() < 1e-6 * opt.max(1.0);
+    let exact_match = (solver.optimal_cost(&all) - opt).abs() < REL_TOL * opt.max(1.0);
     let game = ExplicitGame::tabulate(&AlphaOneCost::new(solver));
     let submodular = is_submodular(&game);
     let mech = AlphaOneShapleyMechanism::new(AlphaOneSolver::new(&net));
@@ -107,7 +107,7 @@ impl Experiment for T4 {
         if scenario.family == LayoutFamily::Line {
             let submod = all_true(obs, 1);
             let max_gap = fmax(obs, 0);
-            let gaps_nonneg = fmin(obs, 0) >= -1e-9;
+            let gaps_nonneg = fmin(obs, 0) >= -VP_TOL;
             RowSummary::gated(
                 vec![
                     format!("{} (chain gap ≤ {:.1}%)", scenario.label(), 100.0 * max_gap),
@@ -131,7 +131,7 @@ impl Experiment for T4 {
                     format!("{bb_max:.6}"),
                     "1.000/1.000".to_string(),
                 ],
-                exact && submod && (bb_max - 1.0).abs() < 1e-6,
+                exact && submod && (bb_max - 1.0).abs() < REL_TOL,
             )
         }
     }

@@ -4,7 +4,7 @@
 
 use crate::harness::scenario_network;
 use crate::registry::{fmax, mean, Experiment, Obs, RowSummary};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, VP_TOL};
 use wmcs_wireless::{bip_broadcast, memt_exact, mst_broadcast, steiner_multicast};
 
 /// The T6 experiment (registered as `"T6"`).
@@ -15,7 +15,7 @@ fn mst_bound(d: usize) -> f64 {
     if d == 2 {
         6.0
     } else {
-        3f64.powi(d as i32) - 1.0
+        3f64.powi(i32::try_from(d).expect("scenario dimension fits i32")) - 1.0
     }
 }
 
@@ -85,7 +85,7 @@ impl Experiment for T6 {
                 format!("{:.3}", fmax(obs, 1)),
                 format!("{:.3}", mean(obs, 2)),
             ],
-            mst_max <= bound + 1e-9,
+            mst_max <= bound + VP_TOL,
         )
     }
 

@@ -5,7 +5,7 @@
 use crate::harness::{random_utilities, scenario_network};
 use crate::registry::{all_true, count_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{find_group_deviation, find_unilateral_deviation};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, REL_TOL, SP_TOL_APPROX, VP_TOL};
 use wmcs_graph::{jv_steiner_shares, JvSharing};
 use wmcs_mechanisms::EuclideanSteinerMechanism;
 use wmcs_wireless::memt_exact;
@@ -18,7 +18,7 @@ fn jv_bound(d: usize) -> f64 {
     if d == 2 {
         12.0
     } else {
-        2.0 * (3f64.powi(d as i32) - 1.0)
+        2.0 * (3f64.powi(i32::try_from(d).expect("scenario dimension fits i32")) - 1.0)
     }
 }
 
@@ -75,16 +75,16 @@ impl Experiment for T7 {
             .collect();
         let feasible = out.assignment.multicasts_to(&net, &stations);
         let ratio = out.outcome.revenue() / opt;
-        let recovered = feasible && out.outcome.revenue() + 1e-9 >= out.outcome.served_cost;
+        let recovered = feasible && out.outcome.revenue() + VP_TOL >= out.outcome.served_cost;
         // Cross-monotonicity spot check: adding the last terminal never
         // raises anyone's JV share.
         let small: Vec<usize> = (1..n - 1).collect();
         let rs = jv_steiner_shares(net.costs(), 0, &small, JvSharing::Equal, None);
         let rl = jv_steiner_shares(net.costs(), 0, &all, JvSharing::Equal, None);
-        let cross_mono_ok = small.iter().all(|&t| rl.share[t] <= rs.share[t] + 1e-6);
+        let cross_mono_ok = small.iter().all(|&t| rl.share[t] <= rs.share[t] + REL_TOL);
         let u = random_utilities(seed ^ 0xc0ffee, k, 50.0);
-        let deviation = find_unilateral_deviation(&mech, &u, 1e-6).is_some()
-            || (k <= 5 && find_group_deviation(&mech, &u, 2, 1e-6).is_some());
+        let deviation = find_unilateral_deviation(&mech, &u, SP_TOL_APPROX).is_some()
+            || (k <= 5 && find_group_deviation(&mech, &u, 2, SP_TOL_APPROX).is_some());
         vec![
             ratio,
             f64::from(recovered),
@@ -110,7 +110,7 @@ impl Experiment for T7 {
                 cm.to_string(),
                 devs.to_string(),
             ],
-            max <= bound + 1e-6 && recovered && cm && devs == 0,
+            max <= bound + REL_TOL && recovered && cm && devs == 0,
         )
     }
 

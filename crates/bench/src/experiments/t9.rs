@@ -7,7 +7,7 @@
 use crate::harness::{nwst_terminals_for, random_nwst_scenario, random_utilities};
 use crate::registry::{all_true, count_true, mean, Experiment, Obs, RowSummary};
 use wmcs_game::{find_unilateral_deviation, Mechanism};
-use wmcs_geom::{LayoutFamily, Scenario};
+use wmcs_geom::{LayoutFamily, Scenario, SP_TOL_APPROX, VP_TOL};
 use wmcs_mechanisms::NwstCostSharingMechanism;
 
 /// The T9 experiment (registered as `"T9"`).
@@ -62,11 +62,11 @@ impl Experiment for T9 {
         let u = random_utilities(seed ^ 0xabba, k, 6.0);
         let out_p = paper.run(&u);
         let out_t = tight.run(&u);
-        let recovered_both = out_p.revenue() + 1e-9 >= out_p.served_cost
-            && out_t.revenue() + 1e-9 >= out_t.served_cost;
+        let recovered_both = out_p.revenue() + VP_TOL >= out_p.served_cost
+            && out_t.revenue() + VP_TOL >= out_t.served_cost;
         vec![
-            f64::from(find_unilateral_deviation(&paper, &u, 1e-6).is_some()),
-            f64::from(find_unilateral_deviation(&tight, &u, 1e-6).is_some()),
+            f64::from(find_unilateral_deviation(&paper, &u, SP_TOL_APPROX).is_some()),
+            f64::from(find_unilateral_deviation(&tight, &u, SP_TOL_APPROX).is_some()),
             out_p.receivers.len() as f64,
             out_t.receivers.len() as f64,
             out_p.revenue(),

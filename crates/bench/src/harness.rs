@@ -91,8 +91,8 @@ impl Table {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(out, "== {}: {} ==", self.id, self.title).unwrap();
-        writeln!(out, "paper claim: {}", self.claim).unwrap();
+        writeln!(out, "== {}: {} ==", self.id, self.title).expect("write! to String is infallible");
+        writeln!(out, "paper claim: {}", self.claim).expect("write! to String is infallible");
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -106,7 +106,7 @@ impl Table {
             }
             line
         };
-        writeln!(out, "{}", render_row(&self.columns)).unwrap();
+        writeln!(out, "{}", render_row(&self.columns)).expect("write! to String is infallible");
         writeln!(
             out,
             "|{}|",
@@ -116,11 +116,11 @@ impl Table {
                 .collect::<Vec<_>>()
                 .join("|")
         )
-        .unwrap();
+        .expect("write! to String is infallible");
         for row in &self.rows {
-            writeln!(out, "{}", render_row(row)).unwrap();
+            writeln!(out, "{}", render_row(row)).expect("write! to String is infallible");
         }
-        writeln!(out, "verdict: {}\n", self.verdict).unwrap();
+        writeln!(out, "verdict: {}\n", self.verdict).expect("write! to String is infallible");
         out
     }
 }

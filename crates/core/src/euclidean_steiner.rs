@@ -49,7 +49,7 @@ impl EuclideanSteinerMechanism {
         if d == 2 {
             12.0
         } else {
-            2.0 * (3f64.powi(d as i32) - 1.0)
+            2.0 * (3f64.powi(i32::try_from(d).expect("scenario dimension fits i32")) - 1.0)
         }
     }
 

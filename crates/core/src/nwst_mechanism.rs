@@ -88,7 +88,8 @@ mod tests {
         let m = star_mechanism();
         let out = m.run(&[5.0, 5.0, 5.0]);
         assert_eq!(out.receivers, vec![0, 1, 2]);
-        let exact = nwst_exact_cost(m.graph(), &[1, 2, 3]).unwrap();
+        let exact =
+            nwst_exact_cost(m.graph(), &[1, 2, 3]).expect("star instance connects its terminals");
         // Cost recovery and the (small-k floored) ln bound.
         assert!(out.revenue() + 1e-9 >= out.served_cost);
         let bound = (1.5 * 3.0f64.ln()).max(2.0);

@@ -1,7 +1,7 @@
 //! Cost functions over coalitions.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A coalition cost function `C : 2^N → R_{≥0}` with `C(∅) = 0`.
 ///
@@ -81,9 +81,18 @@ impl CostFunction for ExplicitGame {
 
 /// Memoising adapter around an expensive cost oracle (e.g. the exact MEMT
 /// solver, which is itself exponential in the station count).
+///
+/// The memo table is a `BTreeMap` rather than a `HashMap`: the cache is
+/// lookup-only today, but a deterministic container guarantees that any
+/// future iteration (debug dumps, eviction, serialisation) can never
+/// introduce order-dependence into results — the workspace-wide
+/// `nondeterministic-iteration` audit rule (see `wmcs-audit`) forbids the
+/// hashed forms in result-affecting crates outright. Lookups are
+/// `O(log |cache|)` against an oracle call that is exponential in `n`, so
+/// the tree walk is never measurable.
 pub struct CachedCost<C: CostFunction> {
     inner: C,
-    cache: RefCell<HashMap<u64, f64>>,
+    cache: RefCell<BTreeMap<u64, f64>>,
 }
 
 impl<C: CostFunction> CachedCost<C> {
@@ -91,7 +100,7 @@ impl<C: CostFunction> CachedCost<C> {
     pub fn new(inner: C) -> Self {
         Self {
             inner,
-            cache: RefCell::new(HashMap::new()),
+            cache: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -165,6 +174,33 @@ mod tests {
         assert_eq!(cached.cost_mask(0b01), 1.0);
         assert_eq!(cached.inner.calls.get(), 2);
         assert_eq!(cached.evaluations(), 2);
+    }
+
+    #[test]
+    fn cache_is_query_order_independent() {
+        // Determinism contract behind the BTreeMap choice: the sequence of
+        // cost_mask answers (and the evaluation count) depends only on the
+        // *set* of queried coalitions, never on the order they arrived in.
+        let masks = [0b101u64, 0b011, 0b111, 0b001, 0b110];
+        let forward = CachedCost::new(CountingCost {
+            calls: std::cell::Cell::new(0),
+        });
+        let backward = CachedCost::new(CountingCost {
+            calls: std::cell::Cell::new(0),
+        });
+        for &m in &masks {
+            let _ = forward.cost_mask(m);
+        }
+        for &m in masks.iter().rev() {
+            let _ = backward.cost_mask(m);
+        }
+        for &m in &masks {
+            assert_eq!(
+                forward.cost_mask(m).to_bits(),
+                backward.cost_mask(m).to_bits()
+            );
+        }
+        assert_eq!(forward.evaluations(), backward.evaluations());
     }
 
     #[test]

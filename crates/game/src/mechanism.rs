@@ -8,7 +8,7 @@
 //! They return *witnesses*, so failing properties produce the paper's
 //! counterexamples (e.g. the Fig. 1 collusion) verbatim.
 
-use wmcs_geom::EPS;
+use wmcs_geom::{EPS, IDENT_TOL};
 
 /// Outcome of running a mechanism on a reported utility profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,7 +149,7 @@ pub fn find_unilateral_deviation(
     for p in 0..m.n_players() {
         let w_true = truthful.welfare(p, true_utilities);
         for lie in candidate_misreports(true_utilities[p], truthful.shares[p]) {
-            if (lie - true_utilities[p]).abs() < 1e-12 {
+            if (lie - true_utilities[p]).abs() < IDENT_TOL {
                 continue;
             }
             let mut v = true_utilities.to_vec();
@@ -210,7 +210,7 @@ pub fn find_group_deviation(
             if misreports
                 .iter()
                 .zip(&coalition)
-                .any(|(&v, &p)| (v - true_utilities[p]).abs() > 1e-12)
+                .any(|(&v, &p)| (v - true_utilities[p]).abs() > IDENT_TOL)
             {
                 let mut v = true_utilities.to_vec();
                 for (&p, &lie) in coalition.iter().zip(&misreports) {

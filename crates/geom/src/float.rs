@@ -14,6 +14,67 @@
 /// ends of the range.
 pub const EPS: f64 = 1e-9;
 
+/// Voluntary-participation / per-check absolute slack.
+///
+/// Bounds the acceptable numerical violation of a *single* f64 comparison
+/// gating a verdict: a receiver's share may exceed its bid, or revenue may
+/// fall short of served cost, by at most this much (optionally scaled by
+/// `1 + |reference|` where the magnitudes are unbounded). Numerically equal
+/// to [`EPS`], but named separately so experiment gates read as the
+/// invariant they check rather than a bare literal.
+pub const VP_TOL: f64 = 1e-9;
+
+/// Budget-balance residual gate over a whole run.
+///
+/// Bounds the *accumulated relative* error `|revenue − cost| / max(1, cost)`
+/// summed over every batch of a session or sweep cell (experiments T10–T12).
+/// One decade looser than [`VP_TOL`] because hundreds of per-batch residuals
+/// are folded into a single scalar before the comparison.
+pub const BB_TOL: f64 = 1e-8;
+
+/// Strategyproofness deviation-gain threshold.
+///
+/// A unilateral (or group) misreport only counts as a *profitable* deviation
+/// if it improves the deviator's welfare by more than this. Used where the
+/// mechanism's cost oracle is exact (explicit games, pinned paper
+/// instances): tight enough to catch the paper's Eq. (5) counterexamples
+/// (gain ≈ 1e-2), loose enough not to flag evaluation-order noise as
+/// manipulability.
+pub const SP_TOL: f64 = 1e-7;
+
+/// Deviation-gain threshold for approximation-backed mechanisms.
+///
+/// One decade looser than [`SP_TOL`], for mechanisms whose served cost comes
+/// from a multi-stage approximation pipeline (KMB Steiner, greedy NWST,
+/// MEMT heuristics): there, `1e-7`-scale welfare "gains" are pipeline
+/// rounding noise, not manipulation.
+pub const SP_TOL_APPROX: f64 = 1e-6;
+
+/// Loose tolerance for approximation-ratio bounds and optimum matches.
+///
+/// Used where the two sides of a comparison are produced by *different
+/// algorithms* (e.g. a greedy tree vs the exact Dreyfus–Wagner/NWST optimum,
+/// or an empirical max ratio vs an analytic `2(3^d − 1)` bound), so the
+/// accumulated error of both pipelines — not a single rounding step — must
+/// fit inside the slack.
+pub const REL_TOL: f64 = 1e-6;
+
+/// Identity threshold: two f64s that are "the same value".
+///
+/// Three decades below [`EPS`] — used where a comparison asks whether two
+/// quantities are *literally the same number* up to representation noise
+/// (e.g. the deviation search skipping candidate misreports equal to the
+/// truthful report), never to absorb accumulated algorithmic error.
+pub const IDENT_TOL: f64 = 1e-12;
+
+/// LP phase-1 feasibility residual gate.
+///
+/// The two-phase simplex declares a program infeasible when the phase-1
+/// artificial objective cannot be driven below this residual. Looser than
+/// [`EPS`] because the residual is a sum over all constraint rows of a
+/// tableau that has been pivoted many times.
+pub const FEAS_TOL: f64 = 1e-7;
+
 /// `a == b` up to [`EPS`] absolute or relative error.
 #[inline]
 pub fn approx_eq(a: f64, b: f64) -> bool {

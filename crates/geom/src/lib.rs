@@ -30,7 +30,10 @@ pub mod scenario;
 pub use churn::{
     ChurnEvent, ChurnProcess, ChurnTrace, GroupChurn, MultiGroupProcess, MultiGroupTrace,
 };
-pub use float::{approx_eq, approx_ge, approx_le, approx_lt, total_cmp_slice, Eps, EPS};
+pub use float::{
+    approx_eq, approx_ge, approx_le, approx_lt, total_cmp_slice, Eps, BB_TOL, EPS, FEAS_TOL,
+    IDENT_TOL, REL_TOL, SP_TOL, SP_TOL_APPROX, VP_TOL,
+};
 pub use gen::{InstanceConfig, InstanceKind};
 pub use point::Point;
 pub use power::PowerModel;

@@ -97,7 +97,8 @@ pub fn moat_growing(costs: &CostMatrix, root: usize, terminals: &[usize]) -> Moa
                 if cu == cv {
                     continue;
                 }
-                let rate = (active.contains(&cu) as u32 + active.contains(&cv) as u32) as f64;
+                let rate =
+                    f64::from(u8::from(active.contains(&cu)) + u8::from(active.contains(&cv)));
                 if rate == 0.0 {
                     continue;
                 }

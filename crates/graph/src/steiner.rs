@@ -53,12 +53,17 @@ pub fn kmb_steiner(costs: &CostMatrix, terminals: &[usize]) -> SteinerTree {
             closure_edges.push((u, v, w));
         }
     }
-    // Work in terminal-index space for kruskal.
-    let tidx: std::collections::HashMap<usize, usize> =
-        terminals.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    // Work in terminal-index space for kruskal. A dense station → terminal
+    // index table keeps the reindexing free of hashed containers (the
+    // `nondeterministic-iteration` audit rule) and is O(n) on graphs whose
+    // cost matrix is already O(n²).
+    let mut tidx = vec![usize::MAX; n];
+    for (i, &t) in terminals.iter().enumerate() {
+        tidx[t] = i;
+    }
     let reindexed: Vec<(usize, usize, f64)> = closure_edges
         .iter()
-        .map(|&(u, v, w)| (tidx[&u], tidx[&v], w))
+        .map(|&(u, v, w)| (tidx[u], tidx[v], w))
         .collect();
     let closure_mst = kruskal(terminals.len(), &reindexed);
     // Expand into original-graph paths; collect the union of vertices.

@@ -385,7 +385,12 @@ mod tests {
         let t = fixture();
         let order = t.bfs_order();
         assert_eq!(order[0], 0);
-        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        let pos = |v: usize| {
+            order
+                .iter()
+                .position(|&x| x == v)
+                .expect("BFS order visits every vertex of the fixture")
+        };
         assert!(pos(1) < pos(3));
         assert!(pos(2) < pos(4) || pos(1) < pos(4));
         assert_eq!(order.len(), 5);

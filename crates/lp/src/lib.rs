@@ -1,6 +1,7 @@
 //! # wmcs-lp — dense two-phase simplex
 //!
-//! A small, dependency-free linear-programming solver. Its single purpose in
+//! A small linear-programming solver (its only dependency is the shared
+//! tolerance constants in [`wmcs_geom::float`]). Its single purpose in
 //! this workspace is to decide **core (non-)emptiness** of cost-sharing
 //! games *exactly*: Lemma 3.3 of Bilò et al. (SPAA 2004 / TCS 2006) exhibits
 //! a wireless multicast instance whose optimal-cost game has an empty core,

@@ -6,7 +6,7 @@
 //! eligible index), which guarantees finite termination at the price of
 //! speed — irrelevant at the problem sizes in this workspace.
 
-const EPS: f64 = 1e-9;
+use wmcs_geom::{EPS, FEAS_TOL};
 
 /// Constraint sense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,7 +275,7 @@ impl Tableau {
                 .filter(|&i| self.basis[i] >= self.n_struct + self.n_slack)
                 .map(|i| self.rows[i][total])
                 .sum();
-            if infeas > 1e-7 {
+            if infeas > FEAS_TOL {
                 return LpOutcome::Infeasible;
             }
             // Drive any zero-valued artificial out of the basis when a

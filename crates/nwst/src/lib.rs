@@ -57,7 +57,7 @@ mod integration_tests {
         let revenue: f64 = out.shares.iter().sum();
         assert!(revenue + 1e-9 >= out.cost);
         // Exact optimum: h1 + h2 = 5 (bridge unnecessary: t2 touches both).
-        let exact = nwst_exact_cost(&g, &ts).unwrap();
+        let exact = nwst_exact_cost(&g, &ts).expect("two-hub instance is connected");
         assert!((exact - 5.0).abs() < 1e-9);
         assert!(out.cost >= exact - 1e-9);
     }

@@ -92,13 +92,13 @@ impl LineSolver {
             .iter()
             .map(|&x| self.rank[x])
             .min()
-            .unwrap()
+            .expect("receivers is non-empty: the empty set returned early above")
             .min(self.k);
         let l_r = receivers
             .iter()
             .map(|&x| self.rank[x])
             .max()
-            .unwrap()
+            .expect("receivers is non-empty: the empty set returned early above")
             .max(self.k);
         let mut best = f64::INFINITY;
         // Candidate source powers: the cost to each other station.
