@@ -75,7 +75,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: LOSSY_CAST,
         summary: "no `as` narrowing onto u8/u16/u32/i8/i16/i32; use ::try_from with \
-                  an invariant message (prepares the u32 node-id memory diet)",
+                  an invariant message (the u32 node-id layer routes through the one \
+                  documented NodeId::try_from helper)",
         scope: Scope::LibAndBin,
     },
     Rule {

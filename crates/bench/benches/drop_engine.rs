@@ -17,14 +17,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use wmcs_bench::harness::{random_euclidean, random_utilities};
 use wmcs_wireless::incremental::{reference_drop_run, shapley_drop_run};
-use wmcs_wireless::UniversalTree;
+use wmcs_wireless::{SubstrateBuilder, TreeKind, UniversalTree};
 
 /// Instance + profile shared by both drivers at a given size: utilities
 /// scaled to the per-player broadcast cost so the drop loop actually
 /// cascades instead of terminating in one round.
 fn setup(n: usize) -> (UniversalTree, Vec<f64>) {
     let net = random_euclidean(42, n, 2.0, 10.0);
-    let ut = UniversalTree::shortest_path_tree(&net);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
     let u = random_utilities(
         43,

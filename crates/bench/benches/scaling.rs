@@ -12,13 +12,17 @@ use wmcs_mechanisms::{
     EuclideanSteinerMechanism, UniversalMcMechanism, UniversalShapleyMechanism,
     WirelessMulticastMechanism,
 };
-use wmcs_wireless::{memt_exact, LineSolver, UniversalTree};
+use wmcs_wireless::{memt_exact, LineSolver, SubstrateBuilder, TreeKind};
 
 fn universal_shapley(c: &mut Criterion) {
     let mut g = c.benchmark_group("universal_shapley_mechanism");
     for &n in &[50usize, 100, 200] {
         let net = random_euclidean(7, n, 2.0, 40.0);
-        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+        let mech = UniversalShapleyMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Mst)
+                .build_universal(),
+        );
         let u = random_utilities(11, n - 1, 300.0);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mech.run(&u))
@@ -31,7 +35,11 @@ fn universal_mc(c: &mut Criterion) {
     let mut g = c.benchmark_group("universal_mc_mechanism");
     for &n in &[50usize, 100, 200] {
         let net = random_euclidean(8, n, 2.0, 40.0);
-        let mech = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
+        let mech = UniversalMcMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal(),
+        );
         let u = random_utilities(12, n - 1, 300.0);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| mech.run(&u))

@@ -34,7 +34,9 @@ use wmcs_bench::harness::random_euclidean;
 use wmcs_geom::{ChurnEvent, MultiGroupProcess, MultiGroupTrace};
 use wmcs_wireless::incremental::{shapley_drop_run_from, NetWorthOracle};
 use wmcs_wireless::session::vcg_outcome;
-use wmcs_wireless::{GroupMechanism, GroupSession, MulticastService, UniversalTree};
+use wmcs_wireless::{
+    GroupMechanism, GroupSession, MulticastService, SubstrateBuilder, TreeKind, UniversalTree,
+};
 
 /// Churn batches per group after the warm-up batch.
 const BATCHES: usize = 4;
@@ -46,7 +48,9 @@ fn smoke() -> bool {
 /// Instance + multi-group workload at (n stations, G groups).
 fn setup(n: usize, g: usize) -> (UniversalTree, MultiGroupTrace) {
     let net = random_euclidean(42, n, 2.0, 10.0);
-    let ut = UniversalTree::shortest_path_tree(&net);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
     let hi = 2.0 * broadcast / (n - 1) as f64;
     let trace = MultiGroupProcess::new(n - 1, g, BATCHES, hi, 43).generate();

@@ -35,13 +35,15 @@ use wmcs_bench::harness::random_euclidean;
 use wmcs_geom::{ChurnProcess, ChurnTrace};
 use wmcs_wireless::incremental::{shapley_drop_run, shapley_drop_run_from, NetWorthOracle};
 use wmcs_wireless::session::{vcg_outcome, McSession, ShapleySession};
-use wmcs_wireless::UniversalTree;
+use wmcs_wireless::{SubstrateBuilder, TreeKind, UniversalTree};
 
 /// Instance + trace shared by every variant at a given size: bids scaled
 /// to the per-player broadcast cost (the T10/T11 regime).
 fn setup(n: usize) -> (UniversalTree, ChurnTrace) {
     let net = random_euclidean(42, n, 2.0, 10.0);
-    let ut = UniversalTree::shortest_path_tree(&net);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
     let hi = 2.0 * broadcast / (n - 1) as f64;
     let trace = ChurnProcess::new(n - 1, 16, ((n - 1) / 64).max(4), hi, 43).generate();

@@ -1,0 +1,6 @@
+//! Regenerate experiment T13 (see EXPERIMENTS.md) over its full scenario
+//! matrix — byte-identity of the spatial substrate backend against the
+//! dense reference. Usage: `table_spatial [SEEDS] [--json]`.
+fn main() {
+    wmcs_bench::cli::table_main("T13");
+}

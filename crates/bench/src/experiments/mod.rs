@@ -9,6 +9,7 @@ pub mod t1;
 pub mod t10;
 pub mod t11;
 pub mod t12;
+pub mod t13;
 pub mod t2;
 pub mod t3;
 pub mod t4;

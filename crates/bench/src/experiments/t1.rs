@@ -11,7 +11,7 @@ use wmcs_game::{
 };
 use wmcs_geom::{LayoutFamily, Scenario, REL_TOL, SP_TOL};
 use wmcs_mechanisms::{UniversalMcMechanism, UniversalShapleyMechanism};
-use wmcs_wireless::{UniversalTree, UniversalTreeCost, WirelessNetwork};
+use wmcs_wireless::{SubstrateBuilder, TreeKind, UniversalTreeCost, WirelessNetwork};
 
 /// The T1 experiment (registered as `"T1"`).
 pub struct T1;
@@ -20,9 +20,13 @@ pub struct T1;
 /// deviations].
 fn one_tree(net: &WirelessNetwork, seed: u64, use_mst: bool) -> [f64; 5] {
     let ut = if use_mst {
-        UniversalTree::mst_tree(net)
+        SubstrateBuilder::new(net)
+            .tree(TreeKind::Mst)
+            .build_universal()
     } else {
-        UniversalTree::shortest_path_tree(net)
+        SubstrateBuilder::new(net)
+            .tree(TreeKind::Spt)
+            .build_universal()
     };
     let cost = UniversalTreeCost::new(ut.clone());
     let game = ExplicitGame::tabulate(&cost);

@@ -26,7 +26,7 @@ use crate::harness::{random_utilities, scenario_network};
 use crate::registry::{all_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_geom::{LayoutFamily, Scenario, BB_TOL, EPS, VP_TOL};
 use wmcs_wireless::incremental::{reference_drop_run, shapley_drop_run_with_stats, NetWorthOracle};
-use wmcs_wireless::UniversalTree;
+use wmcs_wireless::{SubstrateBuilder, TreeKind};
 
 /// The T10 experiment (registered as `"T10"`).
 pub struct T10;
@@ -68,7 +68,9 @@ impl Experiment for T10 {
 
     fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
         let net = scenario_network(scenario, seed);
-        let ut = UniversalTree::shortest_path_tree(&net);
+        let ut = SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal();
         let net = ut.network();
         let n_players = net.n_players();
         // Utilities scaled to the per-player broadcast cost so runs mix

@@ -27,7 +27,7 @@ use crate::registry::{all_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_geom::{ChurnProcess, LayoutFamily, Scenario, BB_TOL, EPS, VP_TOL};
 use wmcs_wireless::incremental::{shapley_drop_run_from, NetWorthOracle};
 use wmcs_wireless::session::{vcg_outcome, McSession, ShapleySession};
-use wmcs_wireless::UniversalTree;
+use wmcs_wireless::{SubstrateBuilder, TreeKind};
 
 /// Batches per trace (after the warm-up batch that joins half the
 /// universe).
@@ -69,7 +69,9 @@ impl Experiment for T11 {
 
     fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
         let net = scenario_network(scenario, seed);
-        let ut = UniversalTree::shortest_path_tree(&net);
+        let ut = SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal();
         let net = ut.network();
         let n_players = net.n_players();
         // Bids scaled to the per-player broadcast cost so traces mix

@@ -29,7 +29,7 @@
 use crate::harness::scenario_network;
 use crate::registry::{all_true, fmax, mean, Experiment, Obs, RowSummary};
 use wmcs_geom::{LayoutFamily, MultiGroupProcess, Scenario, BB_TOL, EPS, VP_TOL};
-use wmcs_wireless::{GroupMechanism, GroupSession, MulticastService, UniversalTree};
+use wmcs_wireless::{GroupMechanism, GroupSession, MulticastService, SubstrateBuilder, TreeKind};
 
 /// Churn batches per group (after the per-group warm-up batch).
 const BATCHES: usize = 5;
@@ -73,7 +73,9 @@ impl Experiment for T12 {
 
     fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
         let net = scenario_network(scenario, seed);
-        let ut = UniversalTree::shortest_path_tree(&net);
+        let ut = SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal();
         let net = ut.network();
         let n_players = net.n_players();
         let g = scenario.groups;
@@ -98,7 +100,9 @@ impl Experiment for T12 {
             .map(|i| {
                 GroupSession::new(
                     GroupMechanism::alternating(i),
-                    &UniversalTree::shortest_path_tree(net),
+                    &SubstrateBuilder::new(net)
+                        .tree(TreeKind::Spt)
+                        .build_universal(),
                 )
             })
             .collect();

@@ -91,6 +91,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiments::t10::T10,
     &crate::experiments::t11::T11,
     &crate::experiments::t12::T12,
+    &crate::experiments::t13::T13,
 ];
 
 /// Resolve an experiment by id (case-insensitive).

@@ -75,7 +75,7 @@ mod tests {
         find_unilateral_deviation, verify_no_positive_transfers, verify_voluntary_participation,
     };
     use wmcs_geom::{Point, PowerModel};
-    use wmcs_wireless::WirelessNetwork;
+    use wmcs_wireless::{SubstrateBuilder, TreeKind, WirelessNetwork};
 
     fn mechanism(seed: u64, n: usize) -> UniversalMcMechanism {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -83,7 +83,11 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net))
+        UniversalMcMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal(),
+        )
     }
 
     #[test]
@@ -171,7 +175,11 @@ mod tests {
             Point::xy(2.0, 0.0),
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let m = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
+        let m = UniversalMcMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal(),
+        );
         // Player 1 (station 2) drives the cost; player 0 (station 1) rides
         // along the chain for free.
         let out = m.run(&[0.5, 100.0]);

@@ -72,7 +72,7 @@ mod tests {
         verify_consumer_sovereignty, verify_no_positive_transfers, verify_voluntary_participation,
     };
     use wmcs_geom::{approx_eq, Point, PowerModel};
-    use wmcs_wireless::WirelessNetwork;
+    use wmcs_wireless::{SubstrateBuilder, TreeKind, WirelessNetwork};
 
     fn mechanism(seed: u64, n: usize) -> UniversalShapleyMechanism {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -80,7 +80,11 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net))
+        UniversalShapleyMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal(),
+        )
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Uniform grid-bucket spatial index for near-neighbour candidate
+//! generation.
+//!
+//! The O(n log n) universal-tree construction path (`wmcs-graph`'s
+//! spatial Prim/Dijkstra) replaces the dense "relax all n − 1
+//! neighbours" loop with *candidate streams*: each station asks for its
+//! neighbours in ascending distance order and stops early. A
+//! [`GridIndex`] is the geometry half of that contract — it buckets the
+//! stations into a uniform grid (~[`TARGET_PER_CELL`] points per cell)
+//! and exposes **expanding shells**: the cells at Chebyshev ring `r`
+//! around a station's cell, together with an exact lower bound
+//! ([`GridIndex::shell_min_dist`]) on the distance to *every* point in
+//! rings `≥ r`. A consumer that has seen rings `< r` and holds a
+//! candidate closer than that bound knows no unseen point can beat it.
+//!
+//! Determinism contract: for a fixed point set the index layout, the
+//! ring enumeration order (lexicographic cell offsets, ascending point
+//! ids within a cell) and every bound are pure functions of the input —
+//! nothing here can perturb the byte-identity gates the tree builders
+//! are held to.
+//!
+//! The index copies the coordinates into one flattened point-major
+//! array (struct-of-arrays, no per-point heap indirection) so the hot
+//! shell walks never chase [`Point`]'s inner `Vec`.
+
+use crate::point::Point;
+
+/// Average number of points a grid cell is sized for. Two keeps the
+/// candidate heaps short while the cell count (≈ n / 2) stays well
+/// below the point count's memory footprint.
+pub const TARGET_PER_CELL: f64 = 2.0;
+
+/// A uniform grid-bucket index over a fixed set of points in `R^d`.
+///
+/// Construction is `O(n)` (two counting passes); the grid has the same
+/// number of cells per axis with per-axis cell widths fitted to the
+/// bounding box, so skewed boxes (e.g. the d = 1 line layouts) still
+/// bucket evenly. Degenerate axes (zero extent, duplicate points) fall
+/// back to a single cell slab on that axis.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    dim: usize,
+    /// Cells per axis (identical on every axis), ≥ 1.
+    res: usize,
+    /// Bounding-box minimum per axis.
+    lo: Vec<f64>,
+    /// Cell width per axis (strictly positive; 1.0 on degenerate axes).
+    cell_w: Vec<f64>,
+    /// Flattened point-major coordinates: `coords[i * dim + a]`.
+    coords: Vec<f64>,
+    /// Per-axis cell index of each point: `cell_idx[i * dim + a]`.
+    cell_idx: Vec<u32>,
+    /// CSR starts over linear cell ids; length `res^dim + 1`.
+    starts: Vec<u32>,
+    /// Point ids grouped by cell, ascending within each cell.
+    items: Vec<u32>,
+}
+
+impl GridIndex {
+    /// Build the index over `points` (all of one dimension, at least one
+    /// point, at most `u32::MAX` points).
+    pub fn new(points: &[Point]) -> Self {
+        let n = points.len();
+        assert!(n > 0, "grid index over an empty point set");
+        u32::try_from(n).expect("grid index point count fits in u32");
+        let dim = points[0].dim();
+        let mut coords = Vec::with_capacity(n * dim);
+        for p in points {
+            assert_eq!(p.dim(), dim, "grid index over mixed-dimension points");
+            coords.extend_from_slice(p.coords());
+        }
+
+        // Cells per axis: aim for TARGET_PER_CELL points per cell.
+        let res = ((n as f64 / TARGET_PER_CELL).powf(1.0 / dim as f64)).floor() as usize;
+        let res = res.max(1);
+
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for i in 0..n {
+            for a in 0..dim {
+                let x = coords[i * dim + a];
+                assert!(x.is_finite(), "grid index requires finite coordinates");
+                lo[a] = lo[a].min(x);
+                hi[a] = hi[a].max(x);
+            }
+        }
+        let cell_w: Vec<f64> = (0..dim)
+            .map(|a| {
+                let extent = hi[a] - lo[a];
+                if extent > 0.0 {
+                    extent / res as f64
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        // Per-point per-axis cell indices, clamped so points on the far
+        // boundary land in the last cell.
+        let mut cell_idx = vec![0u32; n * dim];
+        for i in 0..n {
+            for a in 0..dim {
+                let x = coords[i * dim + a];
+                let raw = ((x - lo[a]) / cell_w[a]).floor();
+                let idx = if raw <= 0.0 {
+                    0
+                } else {
+                    (raw as usize).min(res - 1)
+                };
+                cell_idx[i * dim + a] =
+                    u32::try_from(idx).expect("cell index fits in u32 (res <= n)");
+            }
+        }
+
+        // CSR bucket fill (counting sort over linear cell ids); iterating
+        // points in ascending id keeps each bucket's ids ascending.
+        let n_cells = res.pow(u32::try_from(dim).expect("dimension fits in u32"));
+        let linear = |i: usize, cell_idx: &[u32]| -> usize {
+            let mut c = 0usize;
+            for a in 0..dim {
+                c = c * res + cell_idx[i * dim + a] as usize;
+            }
+            c
+        };
+        let mut starts = vec![0u32; n_cells + 1];
+        for i in 0..n {
+            starts[linear(i, &cell_idx) + 1] += 1;
+        }
+        for c in 0..n_cells {
+            starts[c + 1] += starts[c];
+        }
+        let mut cursor: Vec<u32> = starts.clone();
+        let mut items = vec![0u32; n];
+        for i in 0..n {
+            let c = linear(i, &cell_idx);
+            items[cursor[c] as usize] = u32::try_from(i).expect("point id fits in u32");
+            cursor[c] += 1;
+        }
+
+        Self {
+            dim,
+            res,
+            lo,
+            cell_w,
+            coords,
+            cell_idx,
+            starts,
+            items,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True when the index holds no points (unreachable via [`GridIndex::new`],
+    /// which rejects empty inputs, but part of the `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Ambient dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cells per axis.
+    pub fn resolution(&self) -> usize {
+        self.res
+    }
+
+    /// Coordinate `a` of point `i` (from the flattened copy).
+    pub fn coord(&self, i: usize, a: usize) -> f64 {
+        self.coords[i * self.dim + a]
+    }
+
+    /// The point ids bucketed in the linear cell `c`, ascending.
+    pub fn cell_points(&self, c: usize) -> &[u32] {
+        &self.items[self.starts[c] as usize..self.starts[c + 1] as usize]
+    }
+
+    /// The last non-empty shell radius around point `i`'s cell: rings
+    /// beyond this contain no cells at all.
+    pub fn last_shell(&self, i: usize) -> usize {
+        (0..self.dim)
+            .map(|a| {
+                let idx = self.cell_idx[i * self.dim + a] as usize;
+                idx.max(self.res - 1 - idx)
+            })
+            .max()
+            .expect("points have dimension >= 1")
+    }
+
+    /// Lower bound on the distance from point `i` to any point bucketed
+    /// in a cell of Chebyshev ring `≥ r` around `i`'s cell (0 for
+    /// `r = 0`). Monotone non-decreasing in `r`: a candidate stream that
+    /// has expanded rings `< r` and holds a candidate strictly closer
+    /// than this bound can emit it — no unexpanded cell can beat it.
+    pub fn shell_min_dist(&self, i: usize, r: usize) -> f64 {
+        if r == 0 {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for a in 0..self.dim {
+            let idx = self.cell_idx[i * self.dim + a] as usize;
+            let x = self.coords[i * self.dim + a];
+            // Offset within the cell along axis a, in [0, w].
+            let frac = x - (self.lo[a] + idx as f64 * self.cell_w[a]);
+            // Nearest face of a cell r cells to the right / to the left.
+            let right = r as f64 * self.cell_w[a] - frac;
+            let left = (r - 1) as f64 * self.cell_w[a] + frac;
+            best = best.min(right.min(left));
+        }
+        best.max(0.0)
+    }
+
+    /// Visit every point bucketed in the cells of Chebyshev ring exactly
+    /// `r` around point `i`'s cell (ring 0 is `i`'s own cell; `i` itself
+    /// is **included** — callers filter). Cells are visited in
+    /// lexicographic offset order and each cell's ids ascend, so the
+    /// visit order is a pure function of the point set.
+    pub fn for_shell(&self, i: usize, r: usize, mut visit: impl FnMut(u32)) {
+        let center: Vec<isize> = (0..self.dim)
+            .map(|a| self.cell_idx[i * self.dim + a] as isize)
+            .collect();
+        let mut offset = vec![0isize; self.dim];
+        self.shell_rec(&center, r as isize, 0, false, &mut offset, &mut visit);
+    }
+
+    /// Recursive shell walk: axis by axis, enumerating offsets in
+    /// `[-r, r]`; once the last axis is reached without any `|off| = r`
+    /// axis yet, only the two extreme offsets are taken, so the walk
+    /// touches the ring's surface cells only (O(surface), not O(volume)).
+    fn shell_rec(
+        &self,
+        center: &[isize],
+        r: isize,
+        axis: usize,
+        have_extreme: bool,
+        offset: &mut Vec<isize>,
+        visit: &mut impl FnMut(u32),
+    ) {
+        if axis == self.dim {
+            // All axes chosen; clip was done per axis.
+            let mut c = 0usize;
+            for a in 0..self.dim {
+                c = c * self.res + (center[a] + offset[a]) as usize;
+            }
+            for &p in self.cell_points(c) {
+                visit(p);
+            }
+            return;
+        }
+        let last_axis = axis + 1 == self.dim;
+        let take = |off: isize| {
+            let idx = center[axis] + off;
+            idx >= 0 && idx < self.res as isize
+        };
+        if last_axis && !have_extreme {
+            // Must realise the ring radius on this axis.
+            if r == 0 {
+                offset[axis] = 0;
+                if take(0) {
+                    self.shell_rec(center, r, axis + 1, true, offset, visit);
+                }
+            } else {
+                for off in [-r, r] {
+                    if take(off) {
+                        offset[axis] = off;
+                        self.shell_rec(center, r, axis + 1, true, offset, visit);
+                    }
+                }
+            }
+        } else {
+            for off in -r..=r {
+                if take(off) {
+                    offset[axis] = off;
+                    self.shell_rec(
+                        center,
+                        r,
+                        axis + 1,
+                        have_extreme || off.abs() == r,
+                        offset,
+                        visit,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts_2d(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::xy(x, y)).collect()
+    }
+
+    /// Brute-force shell membership: Chebyshev cell distance exactly r.
+    fn shell_brute(idx: &GridIndex, i: usize, r: usize) -> Vec<u32> {
+        let d = idx.dim();
+        let mut out = Vec::new();
+        for j in 0..idx.len() {
+            let cheb = (0..d)
+                .map(|a| {
+                    let ci = idx.cell_idx[i * d + a] as isize;
+                    let cj = idx.cell_idx[j * d + a] as isize;
+                    (ci - cj).abs()
+                })
+                .max()
+                .expect("dim >= 1");
+            if cheb == r as isize {
+                out.push(u32::try_from(j).expect("test sizes fit"));
+            }
+        }
+        out
+    }
+
+    fn deterministic_points(seed: u64, n: usize, dim: usize) -> Vec<Point> {
+        // SplitMix-style generator, no external RNG needed here.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64 * 10.0
+        };
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| next()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn every_point_is_bucketed_exactly_once() {
+        for dim in [1usize, 2, 3] {
+            let pts = deterministic_points(7 + dim as u64, 100, dim);
+            let idx = GridIndex::new(&pts);
+            let mut seen = vec![0usize; pts.len()];
+            for c in 0..idx.res.pow(u32::try_from(dim).expect("small")) {
+                for &p in idx.cell_points(c) {
+                    seen[p as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&s| s == 1), "d = {dim}");
+        }
+    }
+
+    #[test]
+    fn shells_partition_the_point_set() {
+        for dim in [1usize, 2, 3] {
+            let pts = deterministic_points(42, 80, dim);
+            let idx = GridIndex::new(&pts);
+            for i in [0usize, 13, 79] {
+                let mut seen: Vec<u32> = Vec::new();
+                for r in 0..=idx.last_shell(i) {
+                    let mut ring = Vec::new();
+                    idx.for_shell(i, r, |p| ring.push(p));
+                    let mut brute = shell_brute(&idx, i, r);
+                    let mut ring_sorted = ring.clone();
+                    ring_sorted.sort_unstable();
+                    brute.sort_unstable();
+                    assert_eq!(ring_sorted, brute, "d = {dim}, i = {i}, r = {r}");
+                    seen.extend(ring);
+                }
+                seen.sort_unstable();
+                let all: Vec<u32> = (0..pts.len())
+                    .map(|j| u32::try_from(j).expect("test sizes fit"))
+                    .collect();
+                assert_eq!(seen, all, "d = {dim}, i = {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shell_min_dist_is_a_valid_monotone_lower_bound() {
+        for dim in [1usize, 2, 3] {
+            let pts = deterministic_points(99, 120, dim);
+            let idx = GridIndex::new(&pts);
+            for i in [0usize, 60, 119] {
+                let mut prev = 0.0f64;
+                for r in 0..=idx.last_shell(i) {
+                    let bound = idx.shell_min_dist(i, r);
+                    assert!(bound >= prev - 1e-15, "bound must be monotone in r");
+                    prev = bound;
+                    idx.for_shell(i, r, |p| {
+                        let d = pts[i].dist(&pts[p as usize]);
+                        assert!(
+                            d >= bound - 1e-12,
+                            "d = {dim}, i = {i}, r = {r}: point {p} at {d} < bound {bound}"
+                        );
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_land_in_edge_cells() {
+        // Points exactly on the bounding-box corners and faces.
+        let pts = pts_2d(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.0, 10.0),
+            (10.0, 10.0),
+            (5.0, 10.0),
+            (10.0, 5.0),
+            (2.5, 2.5),
+            (7.5, 7.5),
+        ]);
+        let idx = GridIndex::new(&pts);
+        let r = idx.resolution();
+        for i in 0..pts.len() {
+            for a in 0..2 {
+                let cell = idx.cell_idx[i * 2 + a] as usize;
+                assert!(cell < r, "boundary point {i} axis {a} out of range");
+            }
+        }
+        // The far corner must be clamped into the last cell, not res.
+        assert_eq!(idx.cell_idx[3 * 2] as usize, r - 1);
+        assert_eq!(idx.cell_idx[3 * 2 + 1] as usize, r - 1);
+    }
+
+    #[test]
+    fn duplicate_points_share_a_cell_and_bound_zero() {
+        let pts = pts_2d(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0), (4.0, 4.0), (9.0, 2.0)]);
+        let idx = GridIndex::new(&pts);
+        let mut ring0 = Vec::new();
+        idx.for_shell(0, 0, |p| ring0.push(p));
+        assert!(ring0.contains(&0) && ring0.contains(&1) && ring0.contains(&2));
+        assert_eq!(idx.shell_min_dist(0, 0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_axis_collapses_to_one_slab() {
+        // All points share y: the y axis has zero extent.
+        let pts = pts_2d(&[(0.0, 3.0), (2.0, 3.0), (5.0, 3.0), (9.0, 3.0)]);
+        let idx = GridIndex::new(&pts);
+        for i in 0..pts.len() {
+            assert_eq!(idx.cell_idx[i * 2 + 1], 0);
+        }
+        // Shells still cover everything.
+        let mut seen = Vec::new();
+        for r in 0..=idx.last_shell(0) {
+            idx.for_shell(0, r, |p| seen.push(p));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_point_and_single_cell_work() {
+        let idx = GridIndex::new(&[Point::xyz(1.0, 2.0, 3.0)]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.last_shell(0), 0);
+        let mut seen = Vec::new();
+        idx.for_shell(0, 0, |p| seen.push(p));
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_input_rejected() {
+        let _ = GridIndex::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-dimension")]
+    fn mixed_dimensions_rejected() {
+        let _ = GridIndex::new(&[Point::on_line(0.0), Point::xy(1.0, 1.0)]);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod churn;
 pub mod float;
 pub mod gen;
+pub mod grid;
 pub mod point;
 pub mod power;
 pub mod scenario;
@@ -35,6 +36,7 @@ pub use float::{
     IDENT_TOL, REL_TOL, SP_TOL, SP_TOL_APPROX, VP_TOL,
 };
 pub use gen::{InstanceConfig, InstanceKind};
+pub use grid::GridIndex;
 pub use point::Point;
 pub use power::PowerModel;
 pub use scenario::{LayoutFamily, Scenario, SCENARIO_SIDE};

@@ -8,6 +8,9 @@
 //!   work-horses;
 //! * [`mst`] — Prim/Kruskal spanning trees (MST broadcast heuristic, KMB);
 //! * [`shortest_path`] — Dijkstra, shortest-path trees, metric closure;
+//! * [`spatial`] — canonical SPT/MST growth: a dense `O(n²)` reference
+//!   and a grid-index candidate-stream path that matches it byte for
+//!   byte while scaling to 10⁶ stations;
 //! * [`tree::RootedTree`] — rooted multicast/universal trees with the
 //!   `T(R)` (union-of-root-paths) operation of §2.1;
 //! * [`steiner`] — KMB 2-approximation + exact Dreyfus–Wagner reference;
@@ -29,6 +32,7 @@ pub mod jv_shares;
 pub mod moat;
 pub mod mst;
 pub mod shortest_path;
+pub mod spatial;
 pub mod steiner;
 pub mod tree;
 pub mod union_find;
@@ -39,6 +43,7 @@ pub use jv_shares::{jv_steiner_shares, JvShares, JvSharing};
 pub use moat::{moat_growing, MoatResult};
 pub use mst::{kruskal, prim_mst, prim_mst_subset, SpanningTree};
 pub use shortest_path::{dijkstra, MetricClosure, ShortestPaths};
+pub use spatial::{grow_tree_dense, grow_tree_spatial, GrowthKind};
 pub use steiner::{dreyfus_wagner_cost, kmb_steiner, SteinerTree};
 pub use tree::{CsrChildren, RootedTree};
 pub use union_find::UnionFind;

@@ -1,0 +1,442 @@
+//! Canonical universal-tree growth: a dense `O(n²)` reference and an
+//! `~O(n log n)` spatial-index path that is **byte-identical** to it.
+//!
+//! [`crate::shortest_path::dijkstra`] and [`crate::mst::prim_mst`] leave
+//! their tie-breaking to heap pop order, so no sub-quadratic
+//! reimplementation could promise the same parent array bit for bit.
+//! This module instead fixes one *canonical* growth process per tree
+//! kind and implements it twice:
+//!
+//! * [`grow_tree_dense`] — an `O(n²)` scan (no heap). Each step selects
+//!   the non-finalised vertex minimising the lexicographic triple
+//!   `(key, via, vertex)` — `key` is the tentative distance (SPT) or the
+//!   connecting edge cost (MST), `via` the smallest finalised vertex
+//!   achieving it — then relaxes its neighbours, preferring a smaller
+//!   `via` on exact key ties.
+//! * [`grow_tree_spatial`] — the same abstract process run lazily over a
+//!   [`GridIndex`]: every finalised vertex owns a *candidate stream*
+//!   that emits its neighbours in ascending `(cost, id)` order by
+//!   expanding grid shells, and a global priority queue of per-stream
+//!   head candidates `(key, via, vertex)` replays exactly the dense
+//!   selection order. Keys are computed with the identical float
+//!   expressions (`cost` from the same [`PowerModel::cost`] calls,
+//!   `dist + cost` sums in the same order), so the two paths agree in
+//!   every byte of the parent array — the contract experiment T13 and
+//!   the `builder_props` proptests gate.
+//!
+//! Equivalence argument (why lazy = scan): the global queue pops in
+//! ascending `(key, via, vertex)` order, and a popped head immediately
+//! re-arms its stream, so whenever a candidate `(k, u, y)` would be the
+//! dense scan's selection, every stream candidate lexicographically
+//! smaller has already been popped — in particular `u`'s stream has
+//! already emitted `y`, and no unexpanded shell can hide a smaller
+//! candidate because shell lower bounds are conservative
+//! ([`GridIndex::shell_min_dist`]) and [`PowerModel::cost_of_distance`]
+//! is monotone. The argument needs no genericity assumptions: duplicate
+//! points (zero-cost edges) and exact float key ties replay identically
+//! on both sides because both sides break them with the same total
+//! order.
+//!
+//! Two prunings keep the replay cheap without touching that order:
+//!
+//! * **Finalised targets are skipped.** A candidate aimed at an
+//!   already-finalised vertex would pop as a no-op, so streams drop
+//!   such points at shell expansion and again at the local heap top.
+//! * **Shell expansion is marker-driven.** When a stream cannot yet
+//!   certify its local head (an unexpanded shell might contain
+//!   something cheaper), it queues a *bound marker* at the shell's
+//!   lower-bound key instead of expanding eagerly; the shell is
+//!   expanded only when that marker reaches the global minimum.
+//!   Markers sort after real candidates at an equal `(key, via)` pair
+//!   (their vertex slot is `u32::MAX`), and a marker's key is a lower
+//!   bound on everything its expansion can produce, so deferral never
+//!   changes which candidate pops next — only how much work was spent
+//!   to certify it.
+
+use crate::dense::CostMatrix;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wmcs_geom::{GridIndex, Point, PowerModel};
+
+/// Which canonical universal tree to grow from the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthKind {
+    /// Shortest-path tree: keys are tentative source distances.
+    ShortestPath,
+    /// Minimum spanning tree (Prim): keys are connecting edge costs.
+    Mst,
+}
+
+/// Total-order wrapper for finite non-negative keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Canonical dense growth: `O(n²)` scan over a cost matrix. Returns the
+/// parent array (`None` exactly at `source`). Panics if the finite-cost
+/// graph does not span all vertices from `source`.
+pub fn grow_tree_dense(costs: &CostMatrix, source: usize, kind: GrowthKind) -> Vec<Option<usize>> {
+    let n = costs.len();
+    assert!(source < n, "source out of range");
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut key = vec![f64::INFINITY; n];
+    let mut via = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    key[source] = 0.0;
+    via[source] = source;
+    for _ in 0..n {
+        // Select the non-finalised vertex with the lexicographically
+        // smallest (key, via, vertex); ascending scan makes the vertex
+        // id the final tie level for free.
+        let mut best: Option<usize> = None;
+        for y in 0..n {
+            if done[y] || !key[y].is_finite() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => match key[y].total_cmp(&key[b]) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => via[y] < via[b],
+                },
+            };
+            if better {
+                best = Some(y);
+            }
+        }
+        let y = best.expect("tree growth requires a graph connected from the source");
+        done[y] = true;
+        if y != source {
+            parent[y] = Some(via[y]);
+        }
+        for z in 0..n {
+            if done[z] || z == y {
+                continue;
+            }
+            let c = costs.cost(y, z);
+            if !c.is_finite() {
+                continue;
+            }
+            let k = match kind {
+                GrowthKind::ShortestPath => key[y] + c,
+                GrowthKind::Mst => c,
+            };
+            if k < key[z] {
+                key[z] = k;
+                via[z] = y;
+            } else if k == key[z] && y < via[z] {
+                via[z] = y;
+            }
+        }
+    }
+    parent
+}
+
+/// What a candidate stream offers the global queue next.
+enum StreamStep {
+    /// A concrete neighbour: the cheapest not-yet-finalised expanded
+    /// candidate, certainly no worse than anything unexpanded.
+    Candidate(f64, u32),
+    /// No emittable candidate yet; the unexpanded shells are bounded
+    /// below by this cost. The caller queues a *bound marker* and the
+    /// stream only expands when that marker reaches the global minimum.
+    Bound(f64),
+    /// Exhausted: every other point was emitted or finalised.
+    Dead,
+}
+
+/// A lazy neighbour stream: emits the not-yet-finalised points in
+/// ascending `(cost, id)` order by expanding grid shells on demand,
+/// holding the already-expanded candidates in a local min-heap.
+///
+/// Two laziness levels keep total work near-linear on the swept
+/// layouts: finalised vertices are skipped (at insertion and again at
+/// the heap top, for entries that were finalised while pending), and a
+/// shell is only expanded when the stream's lower bound is the *global*
+/// queue minimum — not eagerly whenever the local head is uncertain.
+#[derive(Debug)]
+struct NeighborStream {
+    ring: usize,
+    exhausted: bool,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+}
+
+impl NeighborStream {
+    fn new() -> Self {
+        Self {
+            ring: 0,
+            exhausted: false,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The stream's next move, without expanding anything.
+    fn step(&mut self, idx: &GridIndex, model: &PowerModel, done: &[bool], u: usize) -> StreamStep {
+        loop {
+            let top = self.heap.peek().map(|&Reverse((OrdF64(c), y))| (c, y));
+            if let Some((_, y)) = top {
+                // Finalised while pending in this local heap: discard.
+                if done[y as usize] {
+                    self.heap.pop();
+                    continue;
+                }
+            }
+            if self.exhausted {
+                return match top {
+                    Some((c, y)) => {
+                        self.heap.pop();
+                        StreamStep::Candidate(c, y)
+                    }
+                    None => StreamStep::Dead,
+                };
+            }
+            // A held candidate may only be emitted once it is strictly
+            // cheaper than anything an unexpanded shell could contain
+            // (on an exact cost tie, an unseen point with a smaller id
+            // could still exist — defer to the bound marker).
+            let bound = model.cost_of_distance(idx.shell_min_dist(u, self.ring));
+            return match top {
+                Some((c, y)) if c < bound => {
+                    self.heap.pop();
+                    StreamStep::Candidate(c, y)
+                }
+                _ => StreamStep::Bound(bound),
+            };
+        }
+    }
+
+    /// Expand the next shell, inserting its not-yet-finalised points.
+    fn expand(
+        &mut self,
+        idx: &GridIndex,
+        points: &[Point],
+        model: &PowerModel,
+        done: &[bool],
+        u: usize,
+    ) {
+        debug_assert!(!self.exhausted, "markers are only queued for live streams");
+        idx.for_shell(u, self.ring, |p| {
+            if p as usize != u && !done[p as usize] {
+                let c = model.cost(&points[u], &points[p as usize]);
+                self.heap.push(Reverse((OrdF64(c), p)));
+            }
+        });
+        if self.ring >= idx.last_shell(u) {
+            self.exhausted = true;
+        }
+        self.ring += 1;
+    }
+}
+
+/// Canonical spatial growth over a Euclidean point set: the same
+/// abstract process as [`grow_tree_dense`] on
+/// `CostMatrix::from_points(points, model)`, run in `~O(n log n)` for
+/// the layout families the workspace sweeps, without materialising any
+/// `O(n²)` state. Returns a byte-identical parent array.
+pub fn grow_tree_spatial(
+    points: &[Point],
+    model: &PowerModel,
+    source: usize,
+    kind: GrowthKind,
+) -> Vec<Option<usize>> {
+    let n = points.len();
+    assert!(source < n, "source out of range");
+    u32::try_from(n).expect("spatial growth point count fits in u32");
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    if n == 1 {
+        return parent;
+    }
+    let idx = GridIndex::new(points);
+    let mut dist = vec![0.0f64; n];
+    let mut done = vec![false; n];
+    let mut streams: Vec<Option<NeighborStream>> = (0..n).map(|_| None).collect();
+    // Global queue of per-stream entries (key, via, vertex): real
+    // candidates carry the target's id, bound markers carry MARKER.
+    // MARKER exceeds every vertex id, so at an exact (key, via) tie the
+    // real candidate pops first — deferral never reorders selections.
+    const MARKER: u32 = u32::MAX;
+    let mut pq: BinaryHeap<Reverse<(OrdF64, u32, u32)>> = BinaryHeap::new();
+
+    let arm = |v: usize,
+               streams: &mut Vec<Option<NeighborStream>>,
+               pq: &mut BinaryHeap<Reverse<(OrdF64, u32, u32)>>,
+               dist: &[f64],
+               done: &[bool]| {
+        let s = streams[v].get_or_insert_with(NeighborStream::new);
+        let (c, y) = match s.step(&idx, model, done, v) {
+            StreamStep::Candidate(c, y) => (c, y),
+            StreamStep::Bound(b) => (b, MARKER),
+            StreamStep::Dead => return,
+        };
+        let k = match kind {
+            GrowthKind::ShortestPath => dist[v] + c,
+            GrowthKind::Mst => c,
+        };
+        pq.push(Reverse((
+            OrdF64(k),
+            u32::try_from(v).expect("vertex id fits in u32"),
+            y,
+        )));
+    };
+
+    done[source] = true;
+    let mut finalized = 1usize;
+    arm(source, &mut streams, &mut pq, &dist, &done);
+
+    while finalized < n {
+        let Reverse((OrdF64(k), u, y)) = pq
+            .pop()
+            .expect("complete Euclidean graphs keep a candidate pending until spanning");
+        let u = u as usize;
+        if y == MARKER {
+            // The stream's unexpanded bound reached the global minimum:
+            // now (and only now) expand the next shell and re-offer.
+            streams[u]
+                .as_mut()
+                .expect("markers come from armed streams")
+                .expand(&idx, points, model, &done, u);
+            arm(u, &mut streams, &mut pq, &dist, &done);
+            continue;
+        }
+        let y = y as usize;
+        // Re-arm the popped stream so its next head re-enters the queue.
+        arm(u, &mut streams, &mut pq, &dist, &done);
+        if done[y] {
+            continue;
+        }
+        done[y] = true;
+        parent[y] = Some(u);
+        dist[y] = k;
+        finalized += 1;
+        arm(y, &mut streams, &mut pq, &dist, &done);
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::prim_mst;
+    use crate::shortest_path::dijkstra;
+    use crate::tree::RootedTree;
+
+    fn deterministic_points(seed: u64, n: usize, dim: usize) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64 * 10.0
+        };
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| next()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn spatial_equals_dense_bit_for_bit() {
+        for dim in [1usize, 2, 3] {
+            for seed in 0..6u64 {
+                let n = 40 + 17 * (seed as usize % 3);
+                let pts = deterministic_points(seed * 77 + dim as u64, n, dim);
+                let model = PowerModel::with_alpha(if seed % 2 == 0 { 2.0 } else { 4.0 });
+                let m = CostMatrix::from_points(&pts, &model);
+                for kind in [GrowthKind::ShortestPath, GrowthKind::Mst] {
+                    let dense = grow_tree_dense(&m, 0, kind);
+                    let spatial = grow_tree_spatial(&pts, &model, 0, kind);
+                    assert_eq!(dense, spatial, "d = {dim}, seed = {seed}, {kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_equals_dense_with_duplicate_points() {
+        // Zero-cost edges: the total order must still replay identically.
+        let mut pts = deterministic_points(5, 30, 2);
+        pts[7] = pts[3].clone();
+        pts[19] = pts[3].clone();
+        pts[11] = pts[22].clone();
+        let model = PowerModel::free_space();
+        let m = CostMatrix::from_points(&pts, &model);
+        for kind in [GrowthKind::ShortestPath, GrowthKind::Mst] {
+            assert_eq!(
+                grow_tree_dense(&m, 0, kind),
+                grow_tree_spatial(&pts, &model, 0, kind),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_spt_matches_dijkstra_distances() {
+        let pts = deterministic_points(11, 60, 2);
+        let model = PowerModel::free_space();
+        let m = CostMatrix::from_points(&pts, &model);
+        let parent = grow_tree_dense(&m, 0, GrowthKind::ShortestPath);
+        let tree = RootedTree::from_parents(0, parent);
+        let sp = dijkstra(&m, 0);
+        for v in 0..60 {
+            // Sum the canonical tree's root path; it must realise the
+            // Dijkstra distance (up to fp association on the path sum).
+            let path = tree.path_from_root(v);
+            let mut d = 0.0;
+            for w in path.windows(2) {
+                d += m.cost(w[0], w[1]);
+            }
+            assert!((d - sp.dist[v]).abs() <= 1e-9 * (1.0 + sp.dist[v]));
+        }
+    }
+
+    #[test]
+    fn dense_mst_matches_prim_cost() {
+        let pts = deterministic_points(23, 50, 2);
+        let model = PowerModel::with_alpha(4.0);
+        let m = CostMatrix::from_points(&pts, &model);
+        let parent = grow_tree_dense(&m, 0, GrowthKind::Mst);
+        let cost: f64 = (0..50)
+            .filter_map(|v| parent[v].map(|p| m.cost(p, v)))
+            .sum();
+        let reference = prim_mst(&m).cost;
+        assert!((cost - reference).abs() <= 1e-9 * (1.0 + reference));
+    }
+
+    #[test]
+    fn nonzero_source_and_tiny_inputs() {
+        for n in [1usize, 2, 3] {
+            let pts = deterministic_points(3, n, 2);
+            let model = PowerModel::linear();
+            let m = CostMatrix::from_points(&pts, &model);
+            for kind in [GrowthKind::ShortestPath, GrowthKind::Mst] {
+                let source = n - 1;
+                let dense = grow_tree_dense(&m, source, kind);
+                let spatial = grow_tree_spatial(&pts, &model, source, kind);
+                assert_eq!(dense, spatial);
+                assert!(dense[source].is_none());
+                assert_eq!(dense.iter().filter(|p| p.is_some()).count(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn dense_growth_rejects_disconnected_graphs() {
+        let m = CostMatrix::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let _ = grow_tree_dense(&m, 0, GrowthKind::ShortestPath);
+    }
+}

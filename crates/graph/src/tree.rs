@@ -34,18 +34,35 @@ impl RootedTree {
             parent,
         };
         assert!(t.parent[root].is_none(), "root cannot have a parent");
-        // Validate: every member's parent chain reaches the root acyclically.
+        // Validate in O(n): every member's parent chain reaches the root
+        // acyclically. Each vertex is walked at most once — a chain stops
+        // as soon as it hits a vertex already proven good (state 2), and
+        // meeting the current walk (state 1) is a cycle.
+        let mut state = vec![0u8; t.n];
+        state[root] = 2;
+        let mut chain = Vec::new();
         for v in 0..t.n {
-            if v != root && t.parent[v].is_some() {
-                let mut cur = v;
-                let mut steps = 0;
-                while let Some(p) = t.parent[cur] {
-                    cur = p;
-                    steps += 1;
-                    assert!(steps <= t.n, "cycle detected in parent array");
-                }
-                assert_eq!(cur, root, "vertex {v} does not reach the root");
+            if state[v] != 0 || t.parent[v].is_none() {
+                continue;
             }
+            let mut cur = v;
+            loop {
+                match state[cur] {
+                    2 => break,
+                    1 => panic!("cycle detected in parent array"),
+                    _ => {}
+                }
+                state[cur] = 1;
+                chain.push(cur);
+                match t.parent[cur] {
+                    Some(p) => cur = p,
+                    None => panic!("vertex {v} does not reach the root"),
+                }
+            }
+            for &w in &chain {
+                state[w] = 2;
+            }
+            chain.clear();
         }
         t
     }

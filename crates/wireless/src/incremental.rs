@@ -114,9 +114,10 @@ impl IncrementalShapley {
         // Subtree receiver counts, children before parents.
         let mut rb = vec![0usize; n];
         for &v in sub.bfs_order().iter().rev() {
+            let v = v.index();
             let mut cnt = usize::from(in_r[v]);
             for &y in sub.sorted_children(v) {
-                cnt += rb[y];
+                cnt += rb[y.index()];
             }
             rb[v] = cnt;
         }
@@ -126,7 +127,10 @@ impl IncrementalShapley {
         let mut prev_sib = vec![NONE; n];
         for v in 0..n {
             let mut prev = NONE;
-            for &y in sub.sorted_children(v).iter().filter(|&&y| rb[y] > 0) {
+            for y in sub.sorted_children(v).iter().map(|y| y.index()) {
+                if rb[y] == 0 {
+                    continue;
+                }
                 if prev == NONE {
                     first_child[v] = y;
                 } else {
@@ -177,7 +181,8 @@ impl IncrementalShapley {
             let mut acc = self.down[x];
             let mut y = self.first_child[x];
             while y != NONE {
-                let cost = net.cost(x, y);
+                // Cached tree-edge cost — bit-identical to net.cost(x, y).
+                let cost = sub.parent_cost(y);
                 let delta = cost - prev_cost;
                 prev_cost = cost;
                 if delta > 0.0 {
@@ -250,7 +255,7 @@ impl IncrementalShapley {
                 // after its nearest active cost-order predecessor.
                 let kids = sub.sorted_children(p);
                 let mut pr = NONE;
-                for &y in kids[..sub.csr().pos_in_parent(v)].iter().rev() {
+                for y in kids[..sub.pos_in_parent(v)].iter().rev().map(|y| y.index()) {
                     if self.rb[y] > 0 {
                         pr = y;
                         break;
@@ -478,7 +483,7 @@ impl NetWorthOracle {
         let sub = ut.substrate().clone();
         let n = sub.network().n_stations();
         assert_eq!(u.len(), n);
-        let n_edges = sub.csr().n_edges();
+        let n_edges = sub.n_edges();
         let mut oracle = Self {
             ut: ut.clone(),
             u: u.to_vec(),
@@ -489,7 +494,7 @@ impl NetWorthOracle {
             suf: vec![f64::NEG_INFINITY; n_edges],
         };
         for &v in sub.bfs_order().iter().rev() {
-            oracle.recompute_station(&sub, v);
+            oracle.recompute_station(&sub, v.index());
         }
         oracle
     }
@@ -506,14 +511,16 @@ impl NetWorthOracle {
         let s = net.source();
         let kids = sub.sorted_children(v);
         let k = kids.len();
-        let base = sub.csr().offset(v);
+        let base = sub.csr_offset(v);
         let own = if v == s { 0.0 } else { self.u[v].max(0.0) };
         // Raw prefix values go into the suf slice first (it is rewritten
         // into suffix maxima in place below), so no per-call allocation.
         let mut acc = 0.0f64;
         for (j, &y) in kids.iter().enumerate() {
+            let y = y.index();
             acc += self.h[y];
-            self.suf[base + j] = acc - net.cost(v, y);
+            // Cached tree-edge cost — bit-identical to net.cost(v, y).
+            self.suf[base + j] = acc - sub.parent_cost(y);
         }
         // Exact total order on value; larger prefix on true ties.
         let mut b = 0.0f64;
@@ -599,7 +606,12 @@ impl NetWorthOracle {
             if v != s {
                 reached.push(v);
             }
-            stack.extend(sub.sorted_children(v).iter().take(self.choice[v]).copied());
+            stack.extend(
+                sub.sorted_children(v)
+                    .iter()
+                    .take(self.choice[v])
+                    .map(|c| c.index()),
+            );
         }
         reached.sort_unstable();
         (reached, self.net_worth())
@@ -610,7 +622,6 @@ impl NetWorthOracle {
     /// profile up to float reassociation (pinned by property tests).
     pub fn net_worth_zeroing(&self, x: usize) -> f64 {
         let sub = self.ut.substrate();
-        let csr = sub.csr();
         let s = sub.network().source();
         assert!(x != s, "the source has no utility to zero");
         // Zeroing only lowers own(x); the subtree below x is unchanged.
@@ -623,7 +634,7 @@ impl NetWorthOracle {
             }
             let p = sub.parent_of(v);
             debug_assert!(p != NONE, "non-source station has a parent");
-            let j = csr.offset(p) + csr.pos_in_parent(v);
+            let j = sub.csr_offset(p) + sub.pos_in_parent(v);
             let delta = hv - self.h[v];
             let b = self.pre[j].max(self.suf[j] + delta);
             let own_p = if p == s { 0.0 } else { self.u[p].max(0.0) };
@@ -637,6 +648,7 @@ impl NetWorthOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{SubstrateBuilder, TreeKind};
     use crate::network::WirelessNetwork;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_geom::{approx_eq, Point, PowerModel};
@@ -649,9 +661,13 @@ mod tests {
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         if seed.is_multiple_of(2) {
-            UniversalTree::shortest_path_tree(&net)
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal()
         } else {
-            UniversalTree::mst_tree(&net)
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Mst)
+                .build_universal()
         }
     }
 
@@ -665,7 +681,9 @@ mod tests {
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         let tree = RootedTree::from_parents(0, vec![None, Some(0), Some(1), Some(1)]);
-        UniversalTree::new(net, tree)
+        SubstrateBuilder::from_owned(net)
+            .explicit_tree(tree)
+            .build_universal()
     }
 
     #[test]

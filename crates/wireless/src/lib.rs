@@ -3,7 +3,12 @@
 //! Everything the paper's model (§1) needs, built from scratch:
 //!
 //! * [`network::WirelessNetwork`] — stations, a symmetric cost graph
-//!   `(S, c)`, a multicast source, and the station↔player index maps;
+//!   `(S, c)`, a multicast source, and the station↔player index maps
+//!   (with a lazy Euclidean regime that skips the `O(n²)` matrix);
+//! * [`builder::SubstrateBuilder`] — **the** construction entry point
+//!   for universal trees: one builder, dense and spatial backends
+//!   (byte-identical), `Backend::Auto` switching at
+//!   [`builder::SPATIAL_AUTO_THRESHOLD`] stations;
 //! * [`power::PowerAssignment`] — power vectors, induced transmission
 //!   digraphs, reachability, the tree→assignment Steiner heuristic;
 //! * [`universal`] — universal broadcast trees (§2.1): the submodular cost
@@ -39,6 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod bip;
+pub mod builder;
 pub mod euclidean;
 pub mod incremental;
 pub mod memt;
@@ -51,6 +57,7 @@ pub mod substrate;
 pub mod universal;
 
 pub use bip::{bip_broadcast, mip_multicast};
+pub use builder::{Backend, SubstrateBuilder, TreeKind, SPATIAL_AUTO_THRESHOLD};
 pub use euclidean::{AlphaOneCost, AlphaOneSolver, LineCost, LineSolver};
 pub use incremental::{
     reference_drop_run, shapley_drop_run, shapley_drop_run_from, shapley_drop_run_with_stats,
@@ -62,7 +69,7 @@ pub use network::WirelessNetwork;
 pub use power::PowerAssignment;
 pub use service::{GroupMechanism, GroupOutcome, GroupSession, MulticastService};
 pub use session::{vcg_outcome, ChurnEvent, ChurnProcess, ChurnTrace, McSession, ShapleySession};
-pub use substrate::{TreeSubstrate, NO_STATION};
+pub use substrate::{NodeId, TreeSubstrate, NO_STATION};
 pub use universal::{UniversalTree, UniversalTreeCost};
 
 #[cfg(test)]
@@ -82,7 +89,9 @@ mod integration_tests {
             Point::xy(1.5, 2.0),
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        let ut = UniversalTree::shortest_path_tree(&net);
+        let ut = SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal();
         for receivers in [vec![3], vec![4], vec![1, 3], vec![1, 2, 3, 4]] {
             let (opt, _) = memt_exact(&net, &receivers);
             let tree_cost = ut.multicast_cost(&receivers);
@@ -103,7 +112,9 @@ mod integration_tests {
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         let (_, pa) = steiner_multicast(&net, &[1, 2]);
         assert!(pa.multicasts_to(&net, &[1, 2]));
-        let ut = UniversalTree::shortest_path_tree(&net);
+        let ut = SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal();
         assert!(ut.power_assignment(&[1, 2]).multicasts_to(&net, &[1, 2]));
         let (opt, _) = memt_exact(&net, &[1, 2]);
         assert!(opt <= pa.total_cost() + 1e-9);

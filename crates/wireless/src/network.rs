@@ -11,9 +11,25 @@ use wmcs_geom::{Point, PowerModel};
 use wmcs_graph::CostMatrix;
 
 /// A symmetric wireless network with a designated multicast source.
+///
+/// Two storage regimes share this one type:
+///
+/// * **materialised** — a dense [`CostMatrix`] holds every pairwise
+///   cost (the default; required for general symmetric networks);
+/// * **lazy Euclidean** ([`WirelessNetwork::euclidean_lazy`]) — only
+///   the points and the power model are stored and [`cost`] computes
+///   `κ · dist^α` on demand. The dense matrix is `O(n²)` memory
+///   (≈ 4 TB at n = 10⁶), so the lazy regime is what lets the spatial
+///   construction path reach million-station substrates. Both regimes
+///   evaluate costs through the *same* [`PowerModel::cost`] expression,
+///   so they agree bit for bit.
+///
+/// [`cost`]: WirelessNetwork::cost
 #[derive(Debug, Clone)]
 pub struct WirelessNetwork {
-    costs: CostMatrix,
+    /// `None` only in the lazy Euclidean regime, where `points` and
+    /// `model` are guaranteed present.
+    costs: Option<CostMatrix>,
     source: usize,
     /// Euclidean coordinates when the network was built from points
     /// (general symmetric networks have none).
@@ -28,7 +44,22 @@ impl WirelessNetwork {
         assert!(source < points.len());
         let costs = CostMatrix::from_points(&points, &model);
         Self {
-            costs,
+            costs: Some(costs),
+            source,
+            points: Some(points),
+            model: Some(model),
+        }
+    }
+
+    /// Euclidean network **without** the dense `O(n²)` cost matrix:
+    /// [`WirelessNetwork::cost`] computes `κ · dist^α` on demand from
+    /// the stored points, bit-identical to the materialised values.
+    /// Use for large n (the spatial construction backend needs nothing
+    /// else); [`WirelessNetwork::costs`] panics in this regime.
+    pub fn euclidean_lazy(points: Vec<Point>, model: PowerModel, source: usize) -> Self {
+        assert!(source < points.len());
+        Self {
+            costs: None,
             source,
             points: Some(points),
             model: Some(model),
@@ -39,7 +70,7 @@ impl WirelessNetwork {
     pub fn symmetric(costs: CostMatrix, source: usize) -> Self {
         assert!(source < costs.len());
         Self {
-            costs,
+            costs: Some(costs),
             source,
             points: None,
             model: None,
@@ -48,7 +79,14 @@ impl WirelessNetwork {
 
     /// Number of stations (including the source).
     pub fn n_stations(&self) -> usize {
-        self.costs.len()
+        match &self.costs {
+            Some(m) => m.len(),
+            None => self
+                .points
+                .as_ref()
+                .expect("lazy networks always carry points")
+                .len(),
+        }
     }
 
     /// Number of players (stations except the source).
@@ -62,13 +100,38 @@ impl WirelessNetwork {
     }
 
     /// The symmetric transmission cost `c(i, j)`.
+    #[inline]
     pub fn cost(&self, i: usize, j: usize) -> f64 {
-        self.costs.cost(i, j)
+        match &self.costs {
+            Some(m) => m.cost(i, j),
+            None => {
+                let pts = self
+                    .points
+                    .as_ref()
+                    .expect("lazy networks always carry points");
+                let model = self
+                    .model
+                    .as_ref()
+                    .expect("lazy networks always carry a power model");
+                model.cost(&pts[i], &pts[j])
+            }
+        }
     }
 
-    /// The underlying cost matrix.
+    /// The underlying cost matrix. Panics on a lazy Euclidean network —
+    /// call [`WirelessNetwork::try_costs`] first, or stay on the
+    /// point-based [`WirelessNetwork::cost`] accessor.
     pub fn costs(&self) -> &CostMatrix {
-        &self.costs
+        self.costs.as_ref().expect(
+            "this network is lazy (euclidean_lazy): no dense cost matrix is materialised; \
+             use cost(i, j) / try_costs() instead",
+        )
+    }
+
+    /// The dense cost matrix, if one is materialised (`None` in the
+    /// lazy Euclidean regime).
+    pub fn try_costs(&self) -> Option<&CostMatrix> {
+        self.costs.as_ref()
     }
 
     /// Station coordinates, if Euclidean.
@@ -183,6 +246,34 @@ mod tests {
         assert!(n.points().is_none());
         assert!(n.model().is_none());
         assert_eq!(n.non_source_stations(), vec![1, 2]);
+    }
+
+    #[test]
+    fn lazy_network_costs_match_materialised_bit_for_bit() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.3, 0.4),
+            Point::xy(0.7, 2.9),
+            Point::xy(3.1, 4.2),
+        ];
+        let dense = WirelessNetwork::euclidean(pts.clone(), PowerModel::with_alpha(4.0), 0);
+        let lazy = WirelessNetwork::euclidean_lazy(pts, PowerModel::with_alpha(4.0), 0);
+        assert_eq!(lazy.n_stations(), 4);
+        assert!(lazy.try_costs().is_none());
+        assert!(dense.try_costs().is_some());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(dense.cost(i, j).to_bits(), lazy.cost(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lazy")]
+    fn lazy_network_dense_matrix_accessor_panics() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0)];
+        let n = WirelessNetwork::euclidean_lazy(pts, PowerModel::linear(), 0);
+        let _ = n.costs();
     }
 
     #[test]

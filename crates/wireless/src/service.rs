@@ -306,6 +306,7 @@ impl MulticastService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{SubstrateBuilder, TreeKind};
     use crate::network::WirelessNetwork;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_geom::{MultiGroupProcess, Point, PowerModel};
@@ -316,7 +317,9 @@ mod tests {
             .map(|_| Point::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
             .collect();
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-        UniversalTree::shortest_path_tree(&net)
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal()
     }
 
     fn service_with_groups(ut: &UniversalTree, g: usize, threads: usize) -> MulticastService {

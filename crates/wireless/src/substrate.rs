@@ -11,11 +11,22 @@
 //!
 //! * the [`WirelessNetwork`] (stations, symmetric costs, source);
 //! * the spanning [`RootedTree`] `T(S\{s})`;
-//! * its children in flat **CSR** form ([`CsrChildren`]), each station's
-//!   slice sorted by ascending edge cost — the order used by the Shapley
-//!   split, the efficient-set DP and the incremental engines;
-//! * a dense parent array with the [`NO_STATION`] sentinel and a cached
-//!   BFS order, the two hot-path walks every engine repeats.
+//! * its children in flat **CSR** form, each station's slice sorted by
+//!   ascending edge cost — the order used by the Shapley split, the
+//!   efficient-set DP and the incremental engines;
+//! * a dense parent array, the cached tree-edge costs `c(parent(v), v)`
+//!   and a cached BFS order — the hot-path walks every engine repeats.
+//!
+//! **Memory diet (the million-station refactor):** all id arrays are
+//! struct-of-arrays over the 4-byte [`NodeId`] (CSR offsets and
+//! positions are plain `u32`), exactly one flat allocation per array —
+//! ≈ 32 bytes/station of id state plus one `f64` per station of cached
+//! edge costs, so a 10⁶-station substrate fits comfortably in RAM
+//! (where the former `usize` layout paid 8 bytes per id and the dense
+//! cost matrix alone would need terabytes — pair this layout with
+//! [`WirelessNetwork::euclidean_lazy`]). Construction asserts
+//! `n < u32::MAX`; [`TreeSubstrate::memory_bytes`] reports the resident
+//! footprint the `substrate_build` bench tracks.
 //!
 //! Substrates are shared behind [`Arc`](std::sync::Arc): a
 //! [`UniversalTree`] is a thin
@@ -25,34 +36,112 @@
 //! state. Experiment T12 and the `service_throughput` bench pin the
 //! resulting per-group byte-identity and throughput.
 //!
+//! Construction goes through [`crate::builder::SubstrateBuilder`] — the
+//! single place a network is moved or cloned and the single choice
+//! point between the dense and spatial backends. The former
+//! free-standing constructors remain as thin deprecated shims.
+//!
 //! [`UniversalTree`]: crate::universal::UniversalTree
 
+use crate::builder::{Backend, TreeKind};
 use crate::network::WirelessNetwork;
-use wmcs_graph::{dijkstra, prim_mst, CsrChildren, RootedTree};
+use wmcs_graph::RootedTree;
 
-/// Sentinel for "no station" in dense parent/sibling arrays.
+/// Sentinel for "no station" in dense `usize` parent/sibling arrays.
 pub const NO_STATION: usize = usize::MAX;
+
+/// A 4-byte station id — the unit of the substrate's memory diet.
+///
+/// All substrate-resident arrays store `NodeId` (or raw `u32` offsets)
+/// instead of `usize`, halving id memory on 64-bit targets. The value
+/// [`NodeId::NONE`] (`u32::MAX`) is the in-band "no station" sentinel,
+/// which is why construction asserts `n < u32::MAX`.
+///
+/// **This is the one sanctioned `usize → u32` narrowing point** for
+/// station ids (the `wmcs-audit` lossy-cast rule bans `as` narrowing
+/// everywhere): build ids with the checked [`TryFrom<usize>`] impl, or
+/// [`NodeId::from_index`] where the substrate's `n < u32::MAX`
+/// invariant already guarantees fit. Widening back is [`NodeId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// In-band "no station" sentinel (`u32::MAX`).
+    pub const NONE: NodeId = NodeId(u32::MAX);
+
+    /// Narrow a station index known to satisfy the substrate invariant
+    /// `n < u32::MAX`. Panics (never truncates) if it does not.
+    pub fn from_index(v: usize) -> NodeId {
+        NodeId::try_from(v).expect("station id fits in u32 (substrates assert n < u32::MAX)")
+    }
+
+    /// Widen back to a `usize` station index. The sentinel widens to
+    /// `u32::MAX as usize`, *not* [`NO_STATION`] — test
+    /// [`NodeId::is_none`] first where the sentinel can occur.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Is this the [`NodeId::NONE`] sentinel?
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == NodeId::NONE
+    }
+}
+
+impl TryFrom<usize> for NodeId {
+    type Error = std::num::TryFromIntError;
+
+    /// The sanctioned checked narrowing from station index to id.
+    fn try_from(v: usize) -> Result<Self, Self::Error> {
+        u32::try_from(v).map(NodeId)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "∅")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
 
 /// The immutable shared substrate of a universal broadcast tree: the
 /// network, the spanning tree, and the cost-sorted CSR children —
-/// everything that is per-*universe* rather than per-*group*.
+/// everything that is per-*universe* rather than per-*group*, in the
+/// struct-of-arrays [`NodeId`] layout described in the module docs.
 #[derive(Debug)]
 pub struct TreeSubstrate {
     net: WirelessNetwork,
     tree: RootedTree,
-    /// Children of each station in ascending edge-cost order, flat CSR.
-    csr: CsrChildren,
-    /// Parent station ([`NO_STATION`] for the source), dense.
-    parent: Vec<usize>,
+    /// CSR row starts: children of `x` are
+    /// `child_array[offsets[x]..offsets[x+1]]`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// All children, per parent, each slice in ascending edge-cost
+    /// order (ties by ascending id). Length `n − 1` (spanning tree).
+    child_array: Vec<NodeId>,
+    /// Index of `v` within its parent's slice (0 for the source).
+    pos_in_parent: Vec<u32>,
+    /// Parent of `v` ([`NodeId::NONE`] for the source), dense.
+    parent: Vec<NodeId>,
+    /// Cached tree-edge cost `c(parent(v), v)` (0.0 for the source) —
+    /// saves a cost-matrix probe / lazy distance evaluation on every
+    /// hot-path edge walk.
+    parent_cost: Vec<f64>,
     /// BFS order from the source, children visited in cost order.
-    bfs: Vec<usize>,
+    bfs: Vec<NodeId>,
 }
 
 impl TreeSubstrate {
     /// Build the substrate from an owned network and an explicit spanning
     /// tree rooted at the source. `O(n log n)` (one CSR build + one sort
     /// per child slice) — paid **once** per universe, not per group.
-    pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
+    /// Crate-internal: [`crate::SubstrateBuilder`] is the public entry point.
+    pub(crate) fn build(net: WirelessNetwork, tree: RootedTree) -> Self {
         assert_eq!(
             tree.root(),
             net.source(),
@@ -63,34 +152,97 @@ impl TreeSubstrate {
             net.n_stations(),
             "universal trees span all stations"
         );
-        let mut csr = tree.csr_children();
-        csr.sort_children_by(|x, a, b| net.cost(x, a).total_cmp(&net.cost(x, b)).then(a.cmp(&b)));
-        let parent = (0..net.n_stations())
-            .map(|v| tree.parent(v).unwrap_or(NO_STATION))
-            .collect();
-        let bfs = csr.bfs_order(net.source(), net.n_stations());
+        let n = net.n_stations();
+        assert!(
+            n < u32::MAX as usize,
+            "substrates cap the universe below u32::MAX stations (NodeId memory diet)"
+        );
+        // Counting-sort CSR, one flat allocation per array.
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            if let Some(p) = tree.parent(v) {
+                offsets[p + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut child_array = vec![NodeId::NONE; n - 1];
+        for v in 0..n {
+            if let Some(p) = tree.parent(v) {
+                child_array[cursor[p] as usize] = NodeId::from_index(v);
+                cursor[p] += 1;
+            }
+        }
+        drop(cursor);
+        // Sort every slice by ascending edge cost, ties by id — the one
+        // canonical child order every consumer shares.
+        for x in 0..n {
+            let (lo, hi) = (offsets[x] as usize, offsets[x + 1] as usize);
+            child_array[lo..hi].sort_by(|&a, &b| {
+                net.cost(x, a.index())
+                    .total_cmp(&net.cost(x, b.index()))
+                    .then(a.cmp(&b))
+            });
+        }
+        let mut pos_in_parent = vec![0u32; n];
+        for x in 0..n {
+            let (lo, hi) = (offsets[x] as usize, offsets[x + 1] as usize);
+            for (j, &c) in child_array[lo..hi].iter().enumerate() {
+                pos_in_parent[c.index()] =
+                    u32::try_from(j).expect("child positions are bounded by n < u32::MAX");
+            }
+        }
+        let mut parent = vec![NodeId::NONE; n];
+        let mut parent_cost = vec![0.0f64; n];
+        for v in 0..n {
+            if let Some(p) = tree.parent(v) {
+                parent[v] = NodeId::from_index(p);
+                parent_cost[v] = net.cost(p, v);
+            }
+        }
+        // BFS from the source through the freshly sorted CSR.
+        let mut bfs = Vec::with_capacity(n);
+        bfs.push(NodeId::from_index(net.source()));
+        let mut head = 0usize;
+        while head < bfs.len() {
+            let v = bfs[head].index();
+            head += 1;
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            bfs.extend_from_slice(&child_array[lo..hi]);
+        }
         Self {
             net,
             tree,
-            csr,
+            offsets,
+            child_array,
+            pos_in_parent,
             parent,
+            parent_cost,
             bfs,
         }
     }
 
-    /// Substrate over the shortest-path universal tree (the Penna–Ventre
-    /// choice discussed in §2.1). Copies the network once.
-    pub fn shortest_path(net: &WirelessNetwork) -> Self {
-        let tree = dijkstra(net.costs(), net.source()).tree();
-        Self::new(net.clone(), tree)
+    /// Build from an owned network and an explicit spanning tree.
+    #[deprecated(note = "use SubstrateBuilder::from_owned(net).explicit_tree(tree).build()")]
+    pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
+        Self::build(net, tree)
     }
 
-    /// Substrate over the MST universal tree (the Wieselthier et al.
-    /// broadcast heuristic \[50\] turned universal). Copies the network
-    /// once.
+    /// Substrate over the shortest-path universal tree. Copies the
+    /// network once.
+    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Spt).build()")]
+    pub fn shortest_path(net: &WirelessNetwork) -> Self {
+        let tree = crate::builder::canonical_tree(net, TreeKind::Spt, Backend::Auto);
+        Self::build(net.clone(), tree)
+    }
+
+    /// Substrate over the MST universal tree. Copies the network once.
+    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Mst).build()")]
     pub fn mst(net: &WirelessNetwork) -> Self {
-        let tree = prim_mst(net.costs()).rooted_at(net.n_stations(), net.source());
-        Self::new(net.clone(), tree)
+        let tree = crate::builder::canonical_tree(net, TreeKind::Mst, Backend::Auto);
+        Self::build(net.clone(), tree)
     }
 
     /// The underlying network.
@@ -104,31 +256,87 @@ impl TreeSubstrate {
     }
 
     /// Children of station `x` in ascending edge-cost order.
-    pub fn sorted_children(&self, x: usize) -> &[usize] {
-        self.csr.children(x)
+    #[inline]
+    pub fn sorted_children(&self, x: usize) -> &[NodeId] {
+        &self.child_array[self.offsets[x] as usize..self.offsets[x + 1] as usize]
     }
 
-    /// The full cost-sorted CSR children structure (offsets for flat
-    /// per-edge side arrays, `pos_in_parent`, …).
-    pub fn csr(&self) -> &CsrChildren {
-        &self.csr
-    }
-
-    /// Parent of `v`, or [`NO_STATION`] for the source.
+    /// Parent of `v` as a `usize`, or [`NO_STATION`] for the source —
+    /// the sentinel convention of the dense engine arrays.
+    #[inline]
     pub fn parent_of(&self, v: usize) -> usize {
-        self.parent[v]
+        let p = self.parent[v];
+        if p.is_none() {
+            NO_STATION
+        } else {
+            p.index()
+        }
+    }
+
+    /// Cached tree-edge cost `c(parent(v), v)`; 0.0 for the source.
+    /// Bit-identical to `network().cost(parent_of(v), v)` (it is cached
+    /// from exactly that call at build time).
+    #[inline]
+    pub fn parent_cost(&self, v: usize) -> f64 {
+        self.parent_cost[v]
+    }
+
+    /// Start of `v`'s child slice in the flat child array — the base
+    /// index for per-edge side arrays of [`TreeSubstrate::n_edges`]
+    /// entries (the net-worth oracle's prefix/suffix maxima layout).
+    #[inline]
+    pub fn csr_offset(&self, v: usize) -> usize {
+        self.offsets[v] as usize
+    }
+
+    /// Index of `v` within its parent's cost-sorted child slice (0 for
+    /// the source).
+    #[inline]
+    pub fn pos_in_parent(&self, v: usize) -> usize {
+        self.pos_in_parent[v] as usize
+    }
+
+    /// Total number of tree edges (`n − 1`).
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.child_array.len()
     }
 
     /// Cached BFS order from the source (children in cost order);
     /// reversing it visits children before parents.
-    pub fn bfs_order(&self) -> &[usize] {
+    pub fn bfs_order(&self) -> &[NodeId] {
         &self.bfs
+    }
+
+    /// Resident heap bytes of everything this substrate keeps alive:
+    /// the struct-of-arrays id/cost state, the spanning tree's parent
+    /// array, and the network payload (points, and the dense cost
+    /// matrix when one is materialised — the dominant term outside the
+    /// lazy regime). The `substrate_build` bench reports this per node.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.offsets.capacity() * size_of::<u32>()
+            + self.child_array.capacity() * size_of::<NodeId>()
+            + self.pos_in_parent.capacity() * size_of::<u32>()
+            + self.parent.capacity() * size_of::<NodeId>()
+            + self.parent_cost.capacity() * size_of::<f64>()
+            + self.bfs.capacity() * size_of::<NodeId>();
+        bytes += self.tree.universe() * size_of::<Option<usize>>();
+        if let Some(pts) = self.net.points() {
+            let dim = pts.first().map_or(0, |p| p.dim());
+            bytes += pts.len() * (size_of::<wmcs_geom::Point>() + dim * size_of::<f64>());
+        }
+        if let Some(m) = self.net.try_costs() {
+            bytes += m.len() * m.len() * size_of::<f64>();
+        }
+        bytes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SubstrateBuilder;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_geom::{Point, PowerModel};
 
@@ -144,31 +352,39 @@ mod tests {
     fn children_are_cost_sorted_and_positions_invert() {
         for seed in 0..8 {
             let net = random_net(seed, 16);
-            let sub = TreeSubstrate::shortest_path(&net);
+            let sub = SubstrateBuilder::new(&net).tree(TreeKind::Spt).build();
             for x in 0..16 {
                 let kids = sub.sorted_children(x);
                 for w in kids.windows(2) {
-                    assert!(sub.network().cost(x, w[0]) <= sub.network().cost(x, w[1]));
+                    assert!(
+                        sub.network().cost(x, w[0].index()) <= sub.network().cost(x, w[1].index())
+                    );
                 }
                 for (j, &c) in kids.iter().enumerate() {
-                    assert_eq!(sub.csr().pos_in_parent(c), j);
-                    assert_eq!(sub.parent_of(c), x);
+                    assert_eq!(sub.pos_in_parent(c.index()), j);
+                    assert_eq!(sub.parent_of(c.index()), x);
+                    assert_eq!(
+                        sub.parent_cost(c.index()).to_bits(),
+                        sub.network().cost(x, c.index()).to_bits()
+                    );
                 }
             }
             assert_eq!(sub.parent_of(sub.network().source()), NO_STATION);
+            assert_eq!(sub.parent_cost(sub.network().source()), 0.0);
+            assert_eq!(sub.n_edges(), 15);
         }
     }
 
     #[test]
     fn bfs_order_spans_all_stations_children_after_parents() {
         let net = random_net(3, 20);
-        let sub = TreeSubstrate::mst(&net);
+        let sub = SubstrateBuilder::new(&net).tree(TreeKind::Mst).build();
         let order = sub.bfs_order();
         assert_eq!(order.len(), 20);
         let pos: Vec<usize> = {
             let mut p = vec![0; 20];
             for (i, &v) in order.iter().enumerate() {
-                p[v] = i;
+                p[v.index()] = i;
             }
             p
         };
@@ -180,10 +396,44 @@ mod tests {
     }
 
     #[test]
+    fn node_id_round_trips_and_flags_the_sentinel() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(NodeId::try_from(3usize).map(NodeId::index), Ok(3));
+        assert!(NodeId::try_from(usize::MAX).is_err());
+        assert!(NodeId::NONE.is_none());
+        assert!(!NodeId::from_index(0).is_none());
+        assert_eq!(format!("{}", NodeId::from_index(42)), "42");
+        assert_eq!(format!("{}", NodeId::NONE), "∅");
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_soa_arrays() {
+        let net = random_net(1, 32);
+        let sub = SubstrateBuilder::new(&net).tree(TreeKind::Spt).build();
+        let b = sub.memory_bytes();
+        // At least the six SoA arrays + the dense matrix must be counted.
+        assert!(b >= 32 * 32 * 8, "dense matrix missing from {b}");
+        // CSR arrays are exactly one allocation each: capacity == len.
+        assert!(b < 32 * 32 * 8 + 32 * 200, "overcounted: {b}");
+    }
+
+    #[test]
+    fn deprecated_shims_still_build_the_same_substrate() {
+        #![allow(deprecated)]
+        let net = random_net(2, 12);
+        let via_builder = SubstrateBuilder::new(&net).tree(TreeKind::Spt).build();
+        let via_shim = TreeSubstrate::shortest_path(&net);
+        assert_eq!(via_builder.bfs_order(), via_shim.bfs_order());
+        for v in 0..12 {
+            assert_eq!(via_builder.parent_of(v), via_shim.parent_of(v));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "span all stations")]
     fn partial_tree_rejected() {
         let net = random_net(0, 4);
         let tree = RootedTree::from_parents(0, vec![None, Some(0), None, None]);
-        let _ = TreeSubstrate::new(net, tree);
+        let _ = TreeSubstrate::build(net, tree);
     }
 }

@@ -39,8 +39,13 @@ pub struct UniversalTree {
 impl UniversalTree {
     /// Wrap an explicit spanning tree rooted at the source (consumes the
     /// network into a fresh substrate).
+    #[deprecated(
+        note = "use SubstrateBuilder::from_owned(net).explicit_tree(tree).build_universal()"
+    )]
     pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
-        Self::from_substrate(Arc::new(TreeSubstrate::new(net, tree)))
+        crate::builder::SubstrateBuilder::from_owned(net)
+            .explicit_tree(tree)
+            .build_universal()
     }
 
     /// Handle on an existing shared substrate.
@@ -50,15 +55,21 @@ impl UniversalTree {
 
     /// The shortest-path universal tree (the Penna–Ventre choice discussed
     /// in §2.1). Copies the network once, into the substrate.
+    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Spt).build_universal()")]
     pub fn shortest_path_tree(net: &WirelessNetwork) -> Self {
-        Self::from_substrate(Arc::new(TreeSubstrate::shortest_path(net)))
+        crate::builder::SubstrateBuilder::new(net)
+            .tree(crate::builder::TreeKind::Spt)
+            .build_universal()
     }
 
     /// The MST universal tree (the Wieselthier et al. broadcast heuristic
     /// \[50\] turned universal). Copies the network once, into the
     /// substrate.
+    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Mst).build_universal()")]
     pub fn mst_tree(net: &WirelessNetwork) -> Self {
-        Self::from_substrate(Arc::new(TreeSubstrate::mst(net)))
+        crate::builder::SubstrateBuilder::new(net)
+            .tree(crate::builder::TreeKind::Mst)
+            .build_universal()
     }
 
     /// The shared substrate this handle points at.
@@ -78,8 +89,11 @@ impl UniversalTree {
 
     /// Children of station `x` in ascending edge-cost order — the order
     /// shared by the Shapley split, the efficient-set DP and the
-    /// incremental engine.
-    pub fn sorted_children(&self, x: usize) -> &[usize] {
+    /// incremental engine. Entries are compact [`NodeId`]s
+    /// (`id.index()` widens back to a station index).
+    ///
+    /// [`NodeId`]: crate::substrate::NodeId
+    pub fn sorted_children(&self, x: usize) -> &[crate::substrate::NodeId] {
         self.sub.sorted_children(x)
     }
 
@@ -122,6 +136,7 @@ impl UniversalTree {
         for &v in order.iter().rev() {
             let mut cnt = usize::from(in_r[v]);
             for &c in self.sorted_children(v) {
+                let c = c.index();
                 if sub.contains(c) && sub.parent(c) == Some(v) {
                     cnt += receivers_below[c];
                 }
@@ -134,7 +149,7 @@ impl UniversalTree {
             let kids: Vec<usize> = self
                 .sorted_children(x)
                 .iter()
-                .copied()
+                .map(|c| c.index())
                 .filter(|&c| sub.contains(c) && sub.parent(c) == Some(x))
                 .collect();
             if kids.is_empty() {
@@ -148,7 +163,9 @@ impl UniversalTree {
             }
             let mut prev_cost = 0.0;
             for (i, &y) in kids.iter().enumerate() {
-                let cost = net.cost(x, y);
+                // Tree-edge cost cached at build time — bit-identical
+                // to net.cost(x, y).
+                let cost = self.sub.parent_cost(y);
                 let delta = cost - prev_cost;
                 prev_cost = cost;
                 if delta <= 0.0 {
@@ -204,6 +221,7 @@ fn distribute(
             share[v] += slice;
         }
         for &c in substrate.sorted_children(v) {
+            let c = c.index();
             if sub.contains(c) && sub.parent(c) == Some(v) {
                 stack.push(c);
             }
@@ -245,6 +263,7 @@ impl CostFunction for UniversalTreeCost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{SubstrateBuilder, TreeKind};
     use proptest::prelude::*;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_game::{is_nondecreasing, is_submodular, shapley_value, ExplicitGame};
@@ -268,7 +287,9 @@ mod tests {
         ];
         let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
         let tree = RootedTree::from_parents(0, vec![None, Some(0), Some(1), Some(1)]);
-        UniversalTree::new(net, tree)
+        SubstrateBuilder::from_owned(net)
+            .explicit_tree(tree)
+            .build_universal()
     }
 
     #[test]
@@ -315,7 +336,9 @@ mod tests {
     fn efficient_shapley_matches_exact_formula() {
         for seed in 0..12 {
             let net = random_net(seed, 6);
-            let ut = UniversalTree::shortest_path_tree(&net);
+            let ut = SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal();
             let cost = UniversalTreeCost::new(ut);
             let game = ExplicitGame::tabulate(&cost);
             let n_players = game.n_players();
@@ -344,8 +367,16 @@ mod tests {
     fn lemma_2_1_submodular_nondecreasing() {
         for seed in 0..8 {
             let net = random_net(seed, 6);
-            let spt = UniversalTreeCost::new(UniversalTree::shortest_path_tree(&net));
-            let mst = UniversalTreeCost::new(UniversalTree::mst_tree(&net));
+            let spt = UniversalTreeCost::new(
+                SubstrateBuilder::new(&net)
+                    .tree(TreeKind::Spt)
+                    .build_universal(),
+            );
+            let mst = UniversalTreeCost::new(
+                SubstrateBuilder::new(&net)
+                    .tree(TreeKind::Mst)
+                    .build_universal(),
+            );
             for cost in [&spt, &mst] {
                 let game = ExplicitGame::tabulate(cost);
                 assert!(is_nondecreasing(&game), "seed {seed} not monotone");
@@ -359,7 +390,9 @@ mod tests {
         use wmcs_game::subset::members_of;
         for seed in 0..16 {
             let net = random_net(seed, 7);
-            let ut = UniversalTree::shortest_path_tree(&net);
+            let ut = SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal();
             let cost = UniversalTreeCost::new(ut);
             let game = ExplicitGame::tabulate(&cost);
             let n_players = game.n_players();
@@ -415,7 +448,9 @@ mod tests {
         );
         let net = WirelessNetwork::symmetric(costs, 0);
         let tree = RootedTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)]);
-        let ut = UniversalTree::new(net, tree);
+        let ut = SubstrateBuilder::from_owned(net)
+            .explicit_tree(tree)
+            .build_universal();
         let u = [0.0, 10.0, 10.0, 10.0];
         let (set, nw) = ut.largest_efficient_set(&u);
         // The unique maximiser is prefix {1}: value exactly 5.
@@ -436,7 +471,9 @@ mod tests {
     fn partial_tree_rejected() {
         let net = random_net(0, 4);
         let tree = RootedTree::from_parents(0, vec![None, Some(0), None, None]);
-        let _ = UniversalTree::new(net, tree);
+        let _ = SubstrateBuilder::from_owned(net)
+            .explicit_tree(tree)
+            .build_universal();
     }
 
     proptest! {
@@ -444,7 +481,7 @@ mod tests {
         #[test]
         fn shapley_shares_nonnegative_and_balanced(seed in 0u64..500) {
             let net = random_net(seed, 8);
-            let ut = UniversalTree::mst_tree(&net);
+            let ut = SubstrateBuilder::new(&net).tree(TreeKind::Mst).build_universal();
             let mut rng = SmallRng::seed_from_u64(seed ^ 0xabc);
             let receivers: Vec<usize> = (1..8).filter(|_| rng.gen_bool(0.6)).collect();
             let shares = ut.shapley_shares(&receivers);

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use wmcs_geom::{LayoutFamily, MultiGroupProcess, Scenario};
 use wmcs_wireless::{
-    GroupMechanism, GroupSession, MulticastService, UniversalTree, WirelessNetwork,
+    GroupMechanism, GroupSession, MulticastService, SubstrateBuilder, TreeKind, WirelessNetwork,
 };
 
 /// The network of a scenario draw (station 0 as source; the harness's
@@ -38,9 +38,9 @@ proptest! {
         let net = scenario_net(family, n, alpha, seed);
         let tree_mst = tree_ix == 1;
         let shared = if tree_mst {
-            UniversalTree::mst_tree(&net)
+            SubstrateBuilder::new(&net).tree(TreeKind::Mst).build_universal()
         } else {
-            UniversalTree::shortest_path_tree(&net)
+            SubstrateBuilder::new(&net).tree(TreeKind::Spt).build_universal()
         };
         let broadcast = shared.multicast_cost(&shared.network().non_source_stations());
         let hi = (2.0 * broadcast / (n - 1) as f64).max(1e-9);
@@ -54,9 +54,9 @@ proptest! {
                 // The reference's substrate is built separately from the
                 // same network — its OWN allocation.
                 let own = if tree_mst {
-                    UniversalTree::mst_tree(&net)
+                    SubstrateBuilder::new(&net).tree(TreeKind::Mst).build_universal()
                 } else {
-                    UniversalTree::shortest_path_tree(&net)
+                    SubstrateBuilder::new(&net).tree(TreeKind::Spt).build_universal()
                 };
                 GroupSession::new(mech, &own)
             })

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use wmcs_geom::{ChurnProcess, LayoutFamily, Scenario};
 use wmcs_wireless::incremental::{shapley_drop_run_from, NetWorthOracle};
 use wmcs_wireless::session::{vcg_outcome, McSession, ShapleySession};
-use wmcs_wireless::{UniversalTree, WirelessNetwork};
+use wmcs_wireless::{SubstrateBuilder, TreeKind, UniversalTree, WirelessNetwork};
 
 /// Universal tree of a scenario draw; alternates between both tree
 /// constructions so the sessions are pinned on SPT and MST shapes alike.
@@ -16,9 +16,13 @@ fn scenario_tree(family: LayoutFamily, n: usize, alpha: f64, seed: u64) -> Unive
     let sc = Scenario::new(family, n, 2, alpha);
     let net = WirelessNetwork::euclidean(sc.points(seed), sc.power_model(), 0);
     if seed.is_multiple_of(2) {
-        UniversalTree::shortest_path_tree(&net)
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal()
     } else {
-        UniversalTree::mst_tree(&net)
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal()
     }
 }
 

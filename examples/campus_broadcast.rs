@@ -25,8 +25,16 @@ fn main() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let n = net.n_players();
 
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
+    let shapley = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
 
     println!("== campus universal-tree pricing: {n} subscriber masts ==\n");
     println!("session | mechanism | served | revenue | cost | welfare");

@@ -1,0 +1,84 @@
+//! Large-n smoke: a 100 000-station substrate built through the spatial
+//! backend, priced live by the universal-tree Shapley session.
+//!
+//! This is the release-mode CI gate for the million-station substrate
+//! path (see `.github/workflows/ci.yml`): the network stays **lazy** (no
+//! `O(n²)` cost matrix is ever materialised), `Backend::Spatial` grows
+//! the universal tree through the grid index, and one warm churn session
+//! over the result must keep the paper's §2.1 guarantees — exact budget
+//! balance of the charged Shapley shares and voluntary participation —
+//! at a station count one hundred times past the seed's experiment
+//! tables.
+//!
+//! ```text
+//! cargo run --release --example large_scale
+//! ```
+
+use multicast_cost_sharing::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn main() {
+    // Constant-density uniform stations: the regime the grid index is
+    // built for. Lazy storage — a dense matrix here would be 80 GB.
+    let side = (N as f64).sqrt() * 10.0;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let pts: Vec<Point> = (0..N)
+        .map(|_| Point::xy(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let net = WirelessNetwork::euclidean_lazy(pts, PowerModel::free_space(), 0);
+
+    // Build timing is informational; it never flows into a verdict.
+    #[allow(clippy::disallowed_methods)]
+    let t = std::time::Instant::now();
+    let ut = SubstrateBuilder::from_owned(net)
+        .tree(TreeKind::Spt)
+        .backend(Backend::Spatial)
+        .build_universal();
+    println!(
+        "built n = {N} substrate via Backend::Spatial in {:.2?} ({:.1} bytes/station)",
+        t.elapsed(),
+        ut.substrate().memory_bytes() as f64 / N as f64
+    );
+
+    // One warm session: an opening join wave, then a churn batch, each
+    // repriced from warm state by the incremental Moulin–Shenker engine.
+    let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
+    let hi = 2.0 * broadcast / (N - 1) as f64;
+    let trace = ChurnProcess::new(N - 1, 2, N / 4, hi, 11).generate();
+    let mech = UniversalShapleyMechanism::new(ut);
+    let mut session = mech.session();
+
+    for (i, batch) in trace.batches.iter().enumerate() {
+        session.apply_events(batch);
+        let bids = session.reported_profile();
+        let out = session.reprice();
+
+        // Budget balance: charged shares sum to the served tree cost.
+        assert!(
+            (out.revenue() - out.served_cost).abs() <= 1e-9 * (1.0 + out.served_cost),
+            "batch {i}: revenue {} drifted from cost {}",
+            out.revenue(),
+            out.served_cost
+        );
+        // Voluntary participation: nobody pays above their report.
+        for &p in &out.receivers {
+            assert!(
+                out.shares[p] <= bids[p] + 1e-9 * (1.0 + bids[p]),
+                "batch {i}: player {p} charged {} above report {}",
+                out.shares[p],
+                bids[p]
+            );
+        }
+        println!(
+            "batch {i}: {} events, {} served, revenue {:.2} == cost {:.2} (BB ok, VP ok)",
+            batch.len(),
+            out.receivers.len(),
+            out.revenue(),
+            out.served_cost
+        );
+    }
+    println!("large-scale smoke passed: BB and VP hold on a warm n = {N} session");
+}

@@ -26,8 +26,16 @@ fn main() {
     };
     let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
     let n = net.n_players();
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
+    let shapley = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
 
     // A day of churn: half the campus tunes in up front, then arrivals,
     // departures and rebids trickle through in batches.

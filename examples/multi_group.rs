@@ -29,7 +29,9 @@ fn main() {
     let n = net.n_players();
 
     // One substrate, built once, shared by every group.
-    let ut = UniversalTree::shortest_path_tree(&net);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
 
     // Twelve concurrent groups with Zipf-distributed, overlapping member
     // sets and light/heavy per-group churn; even groups pay Shapley
@@ -41,7 +43,9 @@ fn main() {
     }
 
     // The isolation witness: group 0 served alone, on its own substrate.
-    let own_substrate = UniversalTree::shortest_path_tree(&net);
+    let own_substrate = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     let mut alone = ShapleySession::new(&own_substrate);
 
     println!(

@@ -26,13 +26,21 @@ fn main() {
 
     // --- Mechanism 1: universal-tree Shapley (§2.1) — budget balanced,
     //     group strategyproof.
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let shapley = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = shapley.run(&utilities);
     println!("Universal-tree Shapley (BB, group-SP):");
     report(&out, &utilities);
 
     // --- Mechanism 2: universal-tree marginal cost (§2.1) — efficient.
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = mc.run(&utilities);
     println!("Universal-tree marginal cost (efficient, SP):");
     report(&out, &utilities);

@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use wmcs_nwst::{NodeWeightedGraph, NwstConfig};
     pub use wmcs_wireless::{
-        memt_exact, AlphaOneSolver, ChurnEvent, ChurnProcess, ChurnTrace, GroupMechanism,
-        LineSolver, McSession, MulticastService, PowerAssignment, ShapleySession, UniversalTree,
-        WirelessNetwork,
+        memt_exact, AlphaOneSolver, Backend, ChurnEvent, ChurnProcess, ChurnTrace, GroupMechanism,
+        LineSolver, McSession, MulticastService, PowerAssignment, ShapleySession, SubstrateBuilder,
+        TreeKind, UniversalTree, WirelessNetwork,
     };
 }

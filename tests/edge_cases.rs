@@ -10,7 +10,11 @@ fn two_station_network_minimal_case() {
     let u_rich = vec![100.0];
     let u_poor = vec![0.5];
 
-    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let sh = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = sh.run(&u_rich);
     assert_eq!(out.receivers, vec![0]);
     assert!((out.shares[0] - 4.0).abs() < 1e-9); // c = 2² = 4
@@ -40,7 +44,11 @@ fn coincident_stations_cost_zero_between_them() {
     let (opt, pa) = memt_exact(&net, &[1, 2]);
     assert!((opt - 2.0).abs() < 1e-9); // reach the pair once; twin rides free
     assert!(pa.multicasts_to(&net, &[1, 2]));
-    let sh = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+    let sh = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
     let out = sh.run(&[10.0, 10.0]);
     assert_eq!(out.receivers.len(), 2);
     assert!((out.revenue() - out.served_cost).abs() < 1e-9);
@@ -57,7 +65,12 @@ fn zero_utilities_never_produce_negative_welfare() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let u = vec![0.0; 3];
     for out in [
-        UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net)).run(&u),
+        UniversalShapleyMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Mst)
+                .build_universal(),
+        )
+        .run(&u),
         EuclideanSteinerMechanism::new(&net).run(&u),
         WirelessMulticastMechanism::new(&net).run(&u),
     ] {
@@ -81,7 +94,11 @@ fn moderate_scale_polynomial_mechanisms_run_fast() {
     let n = net.n_players();
     let u: Vec<f64> = (0..n).map(|p| (p % 17) as f64 * 40.0).collect();
 
-    let sh = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+    let sh = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
     let out = sh.run(&u);
     assert!((out.revenue() - out.served_cost).abs() < 1e-6 * out.served_cost.max(1.0));
 
@@ -89,7 +106,11 @@ fn moderate_scale_polynomial_mechanisms_run_fast() {
     let out = jv.run(&u);
     assert!(out.revenue() + 1e-6 >= out.served_cost);
 
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = mc.run(&u);
     assert!(out.revenue() <= out.served_cost + 1e-6);
 }

@@ -28,11 +28,19 @@ fn all_mechanisms_satisfy_npt_vp_cs_on_the_same_network() {
     let net = network(42, 7);
     let u = vec![9.0, 3.0, 25.0, 0.5, 14.0, 7.0];
     axioms(
-        &UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net)),
+        &UniversalShapleyMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal(),
+        ),
         &u,
     );
     axioms(
-        &UniversalMcMechanism::new(UniversalTree::mst_tree(&net)),
+        &UniversalMcMechanism::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Mst)
+                .build_universal(),
+        ),
         &u,
     );
     axioms(&EuclideanSteinerMechanism::new(&net), &u);
@@ -49,7 +57,11 @@ fn budget_balance_hierarchy_on_rich_profiles() {
     let stations: Vec<usize> = (1..7).collect();
     let (opt, _) = memt_exact(&net, &stations);
 
-    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let sh = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = sh.run(&u);
     assert!(verify_budget_balance(&out, 1.0, out.served_cost));
 
@@ -78,11 +90,19 @@ fn efficiency_ordering_mc_dominates_all() {
     };
     // MC's *net worth* (utilities minus cost) is the systemwide optimum for
     // the universal-tree cost structure.
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let mc_out = mc.run(&u);
     let mc_netwealth: f64 =
         mc_out.receivers.iter().map(|&p| u[p]).sum::<f64>() - mc_out.served_cost;
-    let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let sh = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let sh_out = sh.run(&u);
     let sh_netwealth: f64 =
         sh_out.receivers.iter().map(|&p| u[p]).sum::<f64>() - sh_out.served_cost;

@@ -24,14 +24,22 @@ fn quickstart_mechanisms_run_and_cover_cost() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let utilities = vec![24.0, 40.0, 12.0, 2.0, 30.0, 18.0];
 
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let shapley = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = shapley.run(&utilities);
     assert!(
         (out.revenue() - out.served_cost).abs() < 1e-9,
         "Shapley is 1-BB"
     );
 
-    let mc = UniversalMcMechanism::new(UniversalTree::shortest_path_tree(&net));
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal(),
+    );
     let out = mc.run(&utilities);
     assert!(
         out.revenue() <= out.served_cost + 1e-9,
@@ -160,8 +168,16 @@ fn campus_broadcast_shapley_exact_mc_deficit() {
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
     let n = net.n_players();
 
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
+    let shapley = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
 
     let mut rng = SmallRng::seed_from_u64(42);
     for _session in 0..6 {
@@ -198,8 +214,16 @@ fn live_session_warm_equals_cold_and_balances_every_batch() {
     };
     let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
     let n = net.n_players();
-    let shapley = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
-    let mc = UniversalMcMechanism::new(UniversalTree::mst_tree(&net));
+    let shapley = UniversalShapleyMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
+    let mc = UniversalMcMechanism::new(
+        SubstrateBuilder::new(&net)
+            .tree(TreeKind::Mst)
+            .build_universal(),
+    );
     let trace = ChurnProcess::new(n, 8, 4, 25.0, 2026).generate();
 
     let mut live = shapley.session();
@@ -295,13 +319,17 @@ fn multi_group_service_isolates_groups_and_balances_budgets() {
     };
     let net = WirelessNetwork::euclidean(cfg.generate(), PowerModel::free_space(), 0);
     let n = net.n_players();
-    let ut = UniversalTree::shortest_path_tree(&net);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     let trace = MultiGroupProcess::new(n, 12, 6, 30.0, 77).generate();
     let mut service = MulticastService::new(&ut);
     for g in 0..trace.groups.len() {
         service.add_group(GroupMechanism::alternating(g));
     }
-    let own_substrate = UniversalTree::shortest_path_tree(&net);
+    let own_substrate = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     let mut alone = ShapleySession::new(&own_substrate);
 
     let mut served_any = false;

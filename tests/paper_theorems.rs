@@ -20,7 +20,11 @@ fn network(seed: u64, n: usize, alpha: f64) -> WirelessNetwork {
 fn lemma_2_1_universal_tree_cost_is_submodular() {
     for seed in 0..4 {
         let net = network(seed, 7, 2.0);
-        let cost = UniversalTreeCost::new(UniversalTree::shortest_path_tree(&net));
+        let cost = UniversalTreeCost::new(
+            SubstrateBuilder::new(&net)
+                .tree(TreeKind::Spt)
+                .build_universal(),
+        );
         let game = ExplicitGame::tabulate(&cost);
         assert!(is_nondecreasing(&game));
         assert!(is_submodular(&game));
@@ -122,7 +126,9 @@ fn penna_ventre_remark_universal_trees_can_be_arbitrarily_bad() {
         Point::xy(10.0, 0.0),
     ];
     let net = WirelessNetwork::euclidean(pts, PowerModel::free_space(), 0);
-    let ut = UniversalTree::shortest_path_tree(&net);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
     // SPT from 0: direct edges cost 25 and 100 → but relaying through 1
     // costs 25 + 25 = 50: the SPT (shortest *paths*: 0→1→2 has length
     // 25+25=50 < 100) does relay here. Check the universal tree multicast

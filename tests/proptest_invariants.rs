@@ -25,7 +25,7 @@ proptest! {
     #[test]
     fn universal_shapley_outcome_invariants(seed in 0u64..500, scale in 1.0..100.0f64) {
         let net = network(seed, 6, 2.0);
-        let mech = UniversalShapleyMechanism::new(UniversalTree::mst_tree(&net));
+        let mech = UniversalShapleyMechanism::new(SubstrateBuilder::new(&net).tree(TreeKind::Mst).build_universal());
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xf0f0);
         let u: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..scale)).collect();
         let out = mech.run(&u);
@@ -50,7 +50,7 @@ proptest! {
         let (opt, _) = memt_exact(&net, &stations);
         let jv = EuclideanSteinerMechanism::new(&net);
         prop_assert!(jv.run(&u).served_cost >= opt - 1e-9);
-        let sh = UniversalShapleyMechanism::new(UniversalTree::shortest_path_tree(&net));
+        let sh = UniversalShapleyMechanism::new(SubstrateBuilder::new(&net).tree(TreeKind::Spt).build_universal());
         prop_assert!(sh.run(&u).served_cost >= opt - 1e-9);
         let w = WirelessMulticastMechanism::new(&net);
         prop_assert!(w.run(&u).served_cost >= opt - 1e-9);
