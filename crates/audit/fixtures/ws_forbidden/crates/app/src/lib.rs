@@ -1,0 +1,11 @@
+//! Fixture: a banned substrate constructor called through a renamed
+//! import — the dodge `forbidden-api` resolves away. A plain text grep
+//! for `UniversalTree::mst_tree` finds nothing here. Audited via
+//! `wmcs-audit --root`, never compiled.
+
+use wmcs_wireless::UniversalTree as UT;
+
+/// Calls the removed shim under an alias; the audit must still flag it.
+pub fn build_tree() {
+    let _tree = UT::mst_tree();
+}

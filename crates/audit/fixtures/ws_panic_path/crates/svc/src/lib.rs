@@ -1,0 +1,25 @@
+//! Fixture: a service ingestion API with panic sites and no committed
+//! baseline — every site is "new", so `panic-path` must fail. Audited
+//! via `wmcs-audit --root`, never compiled.
+
+/// Stand-in for the real multi-group service.
+pub struct MulticastService {
+    data: Vec<u32>,
+}
+
+impl MulticastService {
+    /// Ingestion entry point: one indexing site, one `.expect(…)` site,
+    /// plus a panic reachable one call down.
+    pub fn step(&self, i: usize) -> u32 {
+        let x = self.data[i];
+        let y = self.data.first().expect("non-empty batch");
+        x + checked(*y)
+    }
+}
+
+fn checked(v: u32) -> u32 {
+    if v > 1_000 {
+        panic!("bid out of range");
+    }
+    v
+}

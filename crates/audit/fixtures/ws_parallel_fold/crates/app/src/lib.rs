@@ -1,0 +1,31 @@
+//! Fixture: an undisciplined crossbeam spawn site whose reachable set
+//! contains order-sensitive float accumulation two calls deep — the
+//! Mutex-accumulator anti-pattern `parallel-float-reduction` exists to
+//! catch. Audited via `wmcs-audit --root`, never compiled.
+
+use std::sync::Mutex;
+
+/// Spawns workers that race `+=` into shared float state, then calls
+/// down to a float fold. Neither `OnceLock` nor `.set(…)` appear here,
+/// so the spawn is undisciplined and the whole reachable set is scanned.
+pub fn run(xs: &[f64]) -> f64 {
+    let total = Mutex::new(0.0f64);
+    crossbeam::thread::scope(|scope| {
+        for chunk in xs.chunks(8) {
+            scope.spawn(|_| {
+                let partial = summarize(chunk);
+                *total.lock().expect("accumulator lock") += partial;
+            });
+        }
+    })
+    .expect("workers joined");
+    total.into_inner().expect("sole owner")
+}
+
+fn summarize(chunk: &[f64]) -> f64 {
+    deep_fold(chunk)
+}
+
+fn deep_fold(chunk: &[f64]) -> f64 {
+    chunk.iter().fold(0.0, |acc, x| acc + x)
+}

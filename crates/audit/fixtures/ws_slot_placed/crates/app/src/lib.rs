@@ -1,0 +1,31 @@
+//! Fixture: the sanctioned slot pattern — per-item `OnceLock` slots
+//! filled under the spawn, single-threaded float combine after the pool
+//! joins. `parallel-float-reduction` must stay silent: the float `+=`
+//! in `combine` is only reachable from a slot-disciplined spawn site.
+//! Audited via `wmcs-audit --root`, never compiled.
+
+use std::sync::OnceLock;
+
+/// Parallel map with per-item result slots; scheduling order can never
+/// reach a float because the combine happens after the scope joins.
+pub fn run(xs: &[f64]) -> f64 {
+    let slots: Vec<OnceLock<f64>> = xs.iter().map(|_| OnceLock::new()).collect();
+    crossbeam::thread::scope(|scope| {
+        for (i, x) in xs.iter().enumerate() {
+            let slot = &slots[i];
+            scope.spawn(move |_| {
+                slot.set(x * 2.0).expect("each slot set once");
+            });
+        }
+    })
+    .expect("workers joined");
+    combine(&slots)
+}
+
+fn combine(slots: &[OnceLock<f64>]) -> f64 {
+    let mut acc = 0.0;
+    for s in slots {
+        acc += s.get().copied().expect("every slot filled");
+    }
+    acc
+}

@@ -1,0 +1,186 @@
+//! Forbidden-API enforcement at resolved-path level.
+//!
+//! PR 7 removed the deprecated substrate constructors behind
+//! `SubstrateBuilder`, and this PR deletes the shims outright — but a
+//! text grep cannot keep them out: `use wmcs_wireless::UniversalTree as
+//! UT; UT::mst_tree(…)` contains neither banned string. This analysis
+//! checks every call site *after* the parser has resolved `use` aliases
+//! and `crate::`/`self::`/`super::` prefixes, so a renamed import still
+//! matches the registry entry.
+//!
+//! Each [`Banned`] entry is a `::`-separated path pattern matched as a
+//! **suffix** of the resolved call path (`TreeSubstrate::new` matches
+//! `wmcs_wireless::substrate::TreeSubstrate::new`). Entries whose final
+//! segment is a distinctive-enough method name (no collisions with
+//! legitimate workspace idioms — `new` is NOT such a name) additionally
+//! match bare method calls (`x.mst_tree()`), catching receivers the
+//! parser cannot type.
+//!
+//! The registry is seeded with the substrate shims removed in this PR
+//! (so they can never be reintroduced, under any import spelling) and
+//! the std hash collections, whose iteration order is nondeterministic —
+//! defense in depth alongside the token-level `nondeterministic-
+//! iteration` rule, which only sees literal `HashMap` tokens.
+
+use super::Analysis;
+use crate::engine::{FileClass, Violation, Workspace};
+use crate::rules::FORBIDDEN_API;
+
+/// One banned symbol: a path pattern plus the replacement to name in the
+/// diagnostic.
+pub struct Banned {
+    /// `::`-separated pattern, suffix-matched against resolved call paths.
+    pub pattern: &'static str,
+    /// Whether a bare `.method()` call on the final segment also fires
+    /// (only for names distinctive enough to never collide).
+    pub match_method: bool,
+    /// What to use instead, quoted verbatim in the diagnostic.
+    pub instead: &'static str,
+}
+
+/// The banned-symbol registry. Ordered; diagnostics cite entries verbatim.
+pub const REGISTRY: &[Banned] = &[
+    // Substrate constructor shims removed in this PR. `new` collides with
+    // every constructor in the workspace, so those entries are
+    // path-only; the tree helpers are distinctive and also match as bare
+    // methods.
+    Banned {
+        pattern: "UniversalTree::new",
+        match_method: false,
+        instead: "SubstrateBuilder::…::build_universal()",
+    },
+    Banned {
+        pattern: "UniversalTree::shortest_path_tree",
+        match_method: true,
+        instead: "SubstrateBuilder::shortest_path(root).build_universal()",
+    },
+    Banned {
+        pattern: "UniversalTree::mst_tree",
+        match_method: true,
+        instead: "SubstrateBuilder::mst(root).build_universal()",
+    },
+    Banned {
+        pattern: "TreeSubstrate::new",
+        match_method: false,
+        instead: "SubstrateBuilder::…::build()",
+    },
+    Banned {
+        pattern: "TreeSubstrate::shortest_path",
+        match_method: false, // `shortest_path` is a common graph-API name
+        instead: "SubstrateBuilder::shortest_path(root).build()",
+    },
+    Banned {
+        pattern: "TreeSubstrate::mst",
+        match_method: false, // `mst` collides with wmcs_graph free fns
+        instead: "SubstrateBuilder::mst(root).build()",
+    },
+    // Nondeterministic-iteration collections, at path level: the token
+    // rule misses `use std::collections::HashMap as Map;`.
+    Banned {
+        pattern: "collections::HashMap::new",
+        match_method: false,
+        instead: "BTreeMap (deterministic iteration order)",
+    },
+    Banned {
+        pattern: "collections::HashSet::new",
+        match_method: false,
+        instead: "BTreeSet (deterministic iteration order)",
+    },
+];
+
+/// The `forbidden-api` analysis (see module docs).
+pub struct ForbiddenApi;
+
+impl Analysis for ForbiddenApi {
+    fn rule(&self) -> &'static str {
+        FORBIDDEN_API
+    }
+
+    fn summary(&self) -> &'static str {
+        "banned symbols (removed substrate constructor shims, std hash collections) \
+         must not be called; matched on use-alias-resolved paths, so renamed \
+         imports cannot dodge the registry"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for file in &ws.files {
+            if file.class == FileClass::Test {
+                // Tests may exercise adversarial spellings (fixtures do).
+                continue;
+            }
+            for call in &file.calls {
+                // `#[cfg(test)]` regions are exempt like the token rules:
+                // tests may exercise adversarial spellings deliberately.
+                if call.owner.is_some_and(|fi| file.fns[fi].in_cfg_test) {
+                    continue;
+                }
+                for banned in REGISTRY {
+                    let pat: Vec<&str> = banned.pattern.split("::").collect();
+                    let path_hit = !call.is_method && path_suffix_eq(&call.path, &pat);
+                    let method_hit = banned.match_method
+                        && call.is_method
+                        && pat.last().is_some_and(|last| call.name == *last);
+                    if path_hit || method_hit {
+                        violations.push(Violation {
+                            file: file.rel.clone(),
+                            line: call.line,
+                            rule: FORBIDDEN_API,
+                            message: format!(
+                                "forbidden API `{}` (resolved from `{}`); use {} instead",
+                                banned.pattern,
+                                call.path.join("::"),
+                                banned.instead
+                            ),
+                        });
+                        break; // one diagnostic per call site
+                    }
+                }
+            }
+        }
+        violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        violations
+    }
+}
+
+/// Does resolved path `path` end with the segments of `pat`?
+fn path_suffix_eq(path: &[String], pat: &[&str]) -> bool {
+    pat.len() <= path.len() && path.iter().rev().zip(pat.iter().rev()).all(|(a, b)| a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_matching_ignores_leading_segments() {
+        let path: Vec<String> = ["wmcs_wireless", "universal", "UniversalTree", "mst_tree"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(path_suffix_eq(&path, &["UniversalTree", "mst_tree"]));
+        assert!(!path_suffix_eq(&path, &["TreeSubstrate", "mst_tree"]));
+        assert!(!path_suffix_eq(&path[3..], &["UniversalTree", "mst_tree"]));
+    }
+
+    #[test]
+    fn registry_entries_are_well_formed() {
+        for b in REGISTRY {
+            assert!(
+                b.pattern.contains("::"),
+                "{} lacks a type segment",
+                b.pattern
+            );
+            assert!(!b.instead.is_empty());
+            if b.match_method {
+                // Method-matched names must be distinctive (long enough to
+                // not collide with common idioms).
+                let last = b.pattern.rsplit("::").next().unwrap_or_default();
+                assert!(
+                    last.len() > 4,
+                    "`{last}` is too generic for method matching"
+                );
+            }
+        }
+    }
+}

@@ -1,11 +1,31 @@
-//! File classification, pragma handling, rule application and the
-//! workspace walk.
+//! File classification, pragma handling, rule application, the workspace
+//! walk, and the v2 parsed-workspace pipeline.
+//!
+//! Two layers feed one diagnostic stream:
+//!
+//! 1. **Token rules** ([`crate::rules::RULES`]) — per-file, applied by
+//!    [`scan_file`] / `scan_tokens` exactly as in PR 6;
+//! 2. **Workspace analyses** ([`crate::analyses`]) — run over a
+//!    [`Workspace`] (every file parsed by [`crate::parser`], joined by
+//!    the [`crate::graph`] call graph).
+//!
+//! Both layers' violations flow through the same pragma machinery: a
+//! `// wmcs-audit: allow(<rule>): <justification>` comment suppresses a
+//! violation of that rule on its own or the next line, whichever layer
+//! produced it, and an unused pragma is itself a violation. The merged,
+//! sorted result is packaged as an [`AuditReport`] with graph statistics
+//! and a hand-rolled JSON serialization (this crate stays
+//! dependency-free) for CI consumption.
 
+use crate::analyses::ANALYSES;
+use crate::graph::CallGraph;
 use crate::lexer::{has_negative_exponent, lex, Tok, TokKind};
+use crate::parser::{parse_file, ParsedFile};
 use crate::rules::{
     rule_by_name, Scope, AUDIT_PRAGMA, FLOAT_TOLERANCE_LITERAL, LOSSY_CAST, NONDETERMINISM_SOURCE,
     NONDETERMINISTIC_ITERATION, UNSAFE_WITHOUT_SAFETY_COMMENT, UNWRAP_IN_LIB,
 };
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -45,6 +65,83 @@ impl fmt::Display for Violation {
             self.file, self.line, self.rule, self.message
         )
     }
+}
+
+/// The whole workspace in parsed form: every auditable file with its
+/// token stream and items, joined by the cross-crate call graph. This is
+/// what a [`crate::analyses::Analysis`] runs over.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root (analyses may read committed baselines
+    /// relative to it).
+    pub root: PathBuf,
+    /// Parsed files, in sorted path order.
+    pub files: Vec<ParsedFile>,
+    /// The call graph over `files` (node `(file, item)` indices point
+    /// into it).
+    pub graph: CallGraph,
+}
+
+/// The result of a full workspace audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of `fn` items parsed (call-graph nodes).
+    pub functions: usize,
+    /// Number of call-graph edges (after dedup).
+    pub call_edges: usize,
+}
+
+impl AuditReport {
+    /// Machine-readable form, consumed by the CI problem matcher. Schema:
+    ///
+    /// ```json
+    /// {"schema":"wmcs-audit/v2","files_scanned":N,"functions":N,
+    ///  "call_edges":N,"violations":[{"file":"…","line":N,"rule":"…",
+    ///  "message":"…"}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"wmcs-audit/v2\"");
+        out.push_str(&format!(
+            ",\"files_scanned\":{},\"functions\":{},\"call_edges\":{}",
+            self.files_scanned, self.functions, self.call_edges
+        ));
+        out.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&v.file),
+                v.line,
+                v.rule,
+                json_escape(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Classify a workspace-relative path, or `None` if it is outside the audit
@@ -91,13 +188,26 @@ struct Suppression {
 /// not a placeholder like "ok".
 const MIN_JUSTIFICATION: usize = 10;
 
-/// Scan one file's source text under the given class. `rel` is the
-/// workspace-relative path used in diagnostics and per-file exceptions.
+/// Scan one file's source text under the given class, token rules only.
+/// `rel` is the workspace-relative path used in diagnostics and per-file
+/// exceptions. The workspace analyses need the whole parsed workspace and
+/// run in [`audit_workspace`]; this entry point stays for single-file use
+/// (`wmcs-audit --class lib FILE`).
 pub fn scan_file(rel: &str, src: &str, class: FileClass) -> Vec<Violation> {
     let toks = lex(src);
-    let in_test = test_region_mask(&toks);
     let mut violations: Vec<Violation> = Vec::new();
     let mut suppressions = collect_pragmas(rel, &toks, &mut violations);
+    let raw = scan_tokens(rel, &toks, class);
+    apply_suppressions(raw, &mut suppressions, &mut violations);
+    flush_unused_pragmas(rel, &suppressions, &mut violations);
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
+
+/// Apply the six token rules to a lexed file; raw violations, no pragma
+/// handling.
+fn scan_tokens(rel: &str, toks: &[Tok], class: FileClass) -> Vec<Violation> {
+    let in_test = test_region_mask(toks);
 
     // The float-tolerance home is allowed to define the constants.
     let is_float_home = rel == "crates/geom/src/float.rs";
@@ -113,6 +223,7 @@ pub fn scan_file(rel: &str, src: &str, class: FileClass) -> Vec<Violation> {
             Scope::Lib => class == FileClass::Lib && !in_test[i],
             Scope::LibAndBin => class != FileClass::Test && !in_test[i],
             Scope::Everywhere => true,
+            Scope::Workspace => false, // analyses never route through here
         };
         match t.kind {
             TokKind::Ident => match t.text.as_str() {
@@ -211,20 +322,32 @@ pub fn scan_file(rel: &str, src: &str, class: FileClass) -> Vec<Violation> {
             _ => {}
         }
     }
+    raw
+}
 
-    // Apply suppressions: a pragma on line L covers violations on L and L+1.
+/// Apply suppressions: a pragma on line L covers violations on L and L+1.
+fn apply_suppressions(
+    raw: Vec<Violation>,
+    suppressions: &mut [Suppression],
+    out: &mut Vec<Violation>,
+) {
     for v in raw {
         let suppressed = suppressions
             .iter_mut()
             .find(|s| s.rule == v.rule && (s.line == v.line || s.line + 1 == v.line));
         match suppressed {
             Some(s) => s.used = true,
-            None => violations.push(v),
+            None => out.push(v),
         }
     }
-    for s in &suppressions {
+}
+
+/// Unused pragmas are themselves violations, so the exception list can
+/// never rot silently.
+fn flush_unused_pragmas(rel: &str, suppressions: &[Suppression], out: &mut Vec<Violation>) {
+    for s in suppressions {
         if !s.used {
-            violations.push(violation(
+            out.push(violation(
                 rel,
                 s.line,
                 AUDIT_PRAGMA,
@@ -236,8 +359,6 @@ pub fn scan_file(rel: &str, src: &str, class: FileClass) -> Vec<Violation> {
             ));
         }
     }
-    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    violations
 }
 
 /// Parse `wmcs-audit:` pragmas out of the comment tokens. Malformed,
@@ -303,7 +424,7 @@ fn collect_pragmas(rel: &str, toks: &[Tok], violations: &mut Vec<Violation>) -> 
 }
 
 /// Per-token flag: inside a `#[cfg(test)] mod … { … }` region.
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let code = |t: &Tok| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment);
     let mut pending_cfg_test = false;
@@ -429,11 +550,74 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Audit the whole workspace rooted at `root`. Returns all violations plus
-/// the number of files scanned.
-pub fn audit_workspace(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
+/// Read a crate name from a `Cargo.toml`, falling back to `fallback`,
+/// normalised to identifier form (hyphens → underscores). Cached per
+/// manifest path.
+fn crate_name(
+    root: &Path,
+    manifest_rel: &Path,
+    fallback: &str,
+    cache: &mut BTreeMap<PathBuf, String>,
+) -> String {
+    if let Some(n) = cache.get(manifest_rel) {
+        return n.clone();
+    }
+    let name = std::fs::read_to_string(root.join(manifest_rel))
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.trim()
+                    .strip_prefix("name")
+                    .map(str::trim_start)
+                    .and_then(|r| r.strip_prefix('='))
+                    .map(str::trim)
+                    .and_then(|v| v.strip_prefix('"'))
+                    .and_then(|v| v.split('"').next())
+                    .map(str::to_string)
+            })
+        })
+        .unwrap_or_else(|| fallback.to_string())
+        .replace('-', "_");
+    cache.insert(manifest_rel.to_path_buf(), name.clone());
+    name
+}
+
+/// Derive a file's module path (crate name first) from its workspace-
+/// relative location: `crates/wireless/src/service.rs` →
+/// `["wmcs_wireless", "service"]`, with `lib`/`main`/`mod` stems dropped
+/// so `crate::`-relative call paths line up with qualified item paths.
+fn module_path(root: &Path, rel: &Path, cache: &mut BTreeMap<PathBuf, String>) -> Vec<String> {
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let (manifest, fallback, rest): (PathBuf, &str, &[&str]) =
+        if parts.len() > 2 && parts[0] == "crates" {
+            (
+                Path::new("crates").join(parts[1]).join("Cargo.toml"),
+                parts[1],
+                &parts[2..],
+            )
+        } else {
+            (PathBuf::from("Cargo.toml"), "workspace", &parts[..])
+        };
+    let mut out = vec![crate_name(root, &manifest, fallback, cache)];
+    for (i, p) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if !last && *p == "src" {
+            continue;
+        }
+        let seg = if last { p.trim_end_matches(".rs") } else { p };
+        if last && matches!(seg, "lib" | "main" | "mod") {
+            continue;
+        }
+        out.push(seg.to_string());
+    }
+    out
+}
+
+/// Parse every auditable file under `root` and build the call graph.
+pub fn parse_workspace(root: &Path) -> std::io::Result<Workspace> {
     let files = workspace_files(root)?;
-    let mut violations = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    let mut cache: BTreeMap<PathBuf, String> = BTreeMap::new();
     for rel in &files {
         let class = classify(rel).expect("workspace_files only returns classified files");
         let src = std::fs::read_to_string(root.join(rel))?;
@@ -441,9 +625,59 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> 
             .to_str()
             .expect("workspace paths are valid UTF-8")
             .replace('\\', "/");
-        violations.extend(scan_file(&rel_str, &src, class));
+        let module = module_path(root, rel, &mut cache);
+        parsed.push(parse_file(&rel_str, lex(&src), module, class));
     }
-    Ok((violations, files.len()))
+    let graph = CallGraph::build(&parsed);
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files: parsed,
+        graph,
+    })
+}
+
+/// Audit the whole workspace rooted at `root`: token rules on every file
+/// plus the workspace analyses over the call graph, with uniform pragma
+/// handling.
+pub fn audit_workspace(root: &Path) -> std::io::Result<AuditReport> {
+    let ws = parse_workspace(root)?;
+    Ok(audit_parsed(&ws))
+}
+
+/// Run the full audit over an already-parsed workspace.
+pub fn audit_parsed(ws: &Workspace) -> AuditReport {
+    // Analysis violations, grouped per file so the owning file's pragmas
+    // can suppress them. Violations against non-source files (e.g. the
+    // committed panic baseline) pass through unsuppressed.
+    let mut by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    let mut passthrough: Vec<Violation> = Vec::new();
+    for analysis in ANALYSES {
+        for v in analysis.run(ws) {
+            if ws.files.iter().any(|f| f.rel == v.file) {
+                by_file.entry(v.file.clone()).or_default().push(v);
+            } else {
+                passthrough.push(v);
+            }
+        }
+    }
+    let mut violations: Vec<Violation> = Vec::new();
+    for file in &ws.files {
+        let mut out: Vec<Violation> = Vec::new();
+        let mut suppressions = collect_pragmas(&file.rel, &file.toks, &mut out);
+        let mut raw = scan_tokens(&file.rel, &file.toks, file.class);
+        raw.extend(by_file.remove(&file.rel).unwrap_or_default());
+        apply_suppressions(raw, &mut suppressions, &mut out);
+        flush_unused_pragmas(&file.rel, &suppressions, &mut out);
+        violations.extend(out);
+    }
+    violations.extend(passthrough);
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    AuditReport {
+        violations,
+        files_scanned: ws.files.len(),
+        functions: ws.graph.nodes.len(),
+        call_edges: ws.graph.n_edges(),
+    }
 }
 
 #[cfg(test)]
@@ -584,5 +818,52 @@ fn f() -> &'static str { "HashMap 1e-9 unsafe unwrap Instant" }
 "#;
         let vs = scan_file("crates/x/src/lib.rs", src, FileClass::Lib);
         assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn module_paths_derive_from_location_and_manifest() {
+        // No manifest on disk: fall back to the directory name.
+        let mut cache = BTreeMap::new();
+        let root = Path::new("/nonexistent-audit-test-root");
+        assert_eq!(
+            module_path(
+                root,
+                Path::new("crates/wireless/src/service.rs"),
+                &mut cache
+            ),
+            ["wireless", "service"]
+        );
+        assert_eq!(
+            module_path(root, Path::new("crates/wireless/src/lib.rs"), &mut cache),
+            ["wireless"]
+        );
+        assert_eq!(
+            module_path(root, Path::new("src/lib.rs"), &mut cache),
+            ["workspace"]
+        );
+        assert_eq!(
+            module_path(root, Path::new("crates/bench/src/bin/sweep.rs"), &mut cache),
+            ["bench", "bin", "sweep"]
+        );
+    }
+
+    #[test]
+    fn report_json_escapes_and_round_trips_shape() {
+        let report = AuditReport {
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                rule: "unwrap-in-lib",
+                message: "say \"why\"\nplease".to_string(),
+            }],
+            files_scanned: 1,
+            functions: 2,
+            call_edges: 1,
+        };
+        let j = report.to_json();
+        assert!(j.starts_with("{\"schema\":\"wmcs-audit/v2\""), "{j}");
+        assert!(j.contains("\"files_scanned\":1"), "{j}");
+        assert!(j.contains("\\\"why\\\"\\nplease"), "{j}");
+        assert!(!j.contains('\n'), "JSON must be one line for CI: {j}");
     }
 }

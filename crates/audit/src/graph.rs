@@ -1,0 +1,361 @@
+//! The cross-crate call graph the v2 analyses run reachability over.
+//!
+//! Nodes are every `fn` item the [`crate::parser`] found across the
+//! workspace; edges are call sites resolved by name with path narrowing:
+//!
+//! * `Path::name(…)` — the alias-resolved path must suffix-match the
+//!   callee's qualified path (so `UT::mst_tree` resolved through
+//!   `use … UniversalTree as UT` reaches `UniversalTree::mst_tree`);
+//! * `.name(…)` method calls — every impl/trait function of that name is
+//!   a candidate (the receiver type is unknown at token level);
+//! * bare `name(…)` calls — free functions of that name, preferring the
+//!   same module, then the same crate, then anywhere.
+//!
+//! This is a deliberate **over-approximation**: an edge that might exist
+//! does. For reachability-based *safety* analyses (panic surface,
+//! parallel-reduction determinism) over-approximation errs toward
+//! flagging, never toward silently missing a path — the correct
+//! direction for a CI gate. Resolution never consults types, so the
+//! graph is stable under formatting and import shuffles, and building it
+//! is `O(tokens + calls · candidates)` with everything sorted for
+//! deterministic output.
+
+use crate::parser::ParsedFile;
+use std::collections::BTreeMap;
+
+/// A function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Index of the `fn` item within that file's [`ParsedFile::fns`].
+    pub item: usize,
+    /// Fully-qualified path (`crate::module::Type::name`).
+    pub qual: String,
+}
+
+/// The workspace call graph: nodes, adjacency, and name indices.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All function nodes, in (file, item) order.
+    pub nodes: Vec<FnNode>,
+    /// `edges[i]` = sorted, deduplicated callee node indices of node `i`.
+    pub edges: Vec<Vec<u32>>,
+}
+
+impl CallGraph {
+    /// Build the graph over a parsed workspace.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut nodes: Vec<FnNode> = Vec::new();
+        // node index of (file, item).
+        let mut by_loc: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        // bare name → node indices, split by "has a self type".
+        let mut methods: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ii, item) in f.fns.iter().enumerate() {
+                let id = u32::try_from(nodes.len()).expect("node count fits in u32");
+                by_loc.insert((fi, ii), id);
+                nodes.push(FnNode {
+                    file: fi,
+                    item: ii,
+                    qual: item.qual.clone(),
+                });
+            }
+        }
+        for (id, n) in nodes.iter().enumerate() {
+            let id = u32::try_from(id).expect("node count fits in u32");
+            let item = &files[n.file].fns[n.item];
+            if item.self_ty.is_some() {
+                methods.entry(item.name.as_str()).or_default().push(id);
+            } else {
+                free.entry(item.name.as_str()).or_default().push(id);
+            }
+        }
+
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        for (fi, f) in files.iter().enumerate() {
+            for call in &f.calls {
+                let Some(owner_item) = call.owner else {
+                    continue;
+                };
+                let from = by_loc[&(fi, owner_item)];
+                let mut push = |to: u32| edges[from as usize].push(to);
+                if call.is_method {
+                    // Unknown receiver: every impl fn of this name.
+                    if let Some(cands) = methods.get(call.name.as_str()) {
+                        for &c in cands {
+                            push(c);
+                        }
+                    }
+                } else if call.path.len() >= 2 {
+                    // Qualified call: the resolved path must suffix-match
+                    // the candidate's qualified path (checked over both
+                    // method and free candidates — `Type::assoc(…)` and
+                    // `module::free(…)` are both written this way).
+                    for table in [&methods, &free] {
+                        if let Some(cands) = table.get(call.name.as_str()) {
+                            for &c in cands {
+                                if path_suffix_matches(&call.path, &nodes[c as usize].qual) {
+                                    push(c);
+                                }
+                            }
+                        }
+                    }
+                } else if let Some(cands) = free.get(call.name.as_str()) {
+                    // Bare call: prefer same file, then same crate.
+                    let same_file: Vec<u32> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| nodes[c as usize].file == fi)
+                        .collect();
+                    let chosen: Vec<u32> = if same_file.is_empty() {
+                        let krate = f.module.first();
+                        let same_crate: Vec<u32> = cands
+                            .iter()
+                            .copied()
+                            .filter(|&c| files[nodes[c as usize].file].module.first() == krate)
+                            .collect();
+                        if same_crate.is_empty() {
+                            cands.clone()
+                        } else {
+                            same_crate
+                        }
+                    } else {
+                        same_file
+                    };
+                    for c in chosen {
+                        push(c);
+                    }
+                }
+            }
+        }
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Node index of the function item `(file, item)`, if present.
+    pub fn node_of(&self, file: usize, item: usize) -> Option<u32> {
+        // nodes are in (file, item) order — binary search.
+        self.nodes
+            .binary_search_by_key(&(file, item), |n| (n.file, n.item))
+            .ok()
+            .map(|i| u32::try_from(i).expect("node count fits in u32"))
+    }
+
+    /// Every node reachable from `roots` (inclusive), as a dense mask.
+    pub fn reachable(&self, roots: &[u32]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for &r in roots {
+            if !seen[r as usize] {
+                seen[r as usize] = true;
+                stack.push(r);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &w in &self.edges[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Total edge count (after dedup).
+    pub fn n_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Render the graph as sorted `caller -> callee` lines (the binary's
+    /// `--graph` dump; stable for diffing across runs).
+    pub fn dump(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &c in &self.edges[i] {
+                lines.push(format!("{} -> {}", n.qual, self.nodes[c as usize].qual));
+            }
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+/// Does a written (alias-resolved) call path match a qualified function
+/// path? `path` matches if its segments are a suffix-aligned subsequence
+/// anchored at the end of `qual` — e.g. `[UniversalTree, mst_tree]` and
+/// `[wmcs_wireless, universal, UniversalTree, mst_tree]` match, as does
+/// the fully-written form; `[OtherType, mst_tree]` does not.
+pub fn path_suffix_matches(path: &[String], qual: &str) -> bool {
+    let qsegs: Vec<&str> = qual.split("::").collect();
+    let mut q = qsegs.iter().rev();
+    let mut p = path.iter().rev();
+    // The called name itself must match exactly…
+    let (Some(pn), Some(qn)) = (p.next(), q.next()) else {
+        return false;
+    };
+    if pn != qn {
+        return false;
+    }
+    // …and every remaining written segment must appear in the qualified
+    // path, in order, walking outward — written paths legitimately skip
+    // module segments (`crate_b::middle` vs `crate_b::lib::middle`).
+    'outer: for seg in p {
+        for cand in q.by_ref() {
+            if seg == cand {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FileClass;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn ws(files: &[(&str, &[&str], &str)]) -> Vec<ParsedFile> {
+        files
+            .iter()
+            .map(|(rel, module, src)| {
+                parse_file(
+                    rel,
+                    lex(src),
+                    module.iter().map(|s| s.to_string()).collect(),
+                    FileClass::Lib,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_crate_reachability_through_two_hops() {
+        let files = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                &["crate_a", "lib"],
+                "pub fn entry() { crate_b::middle(); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                &["crate_b", "lib"],
+                "pub fn middle() { deep(); } fn deep() {}",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        let entry = g
+            .nodes
+            .iter()
+            .position(|n| n.qual.ends_with("entry"))
+            .expect("entry node");
+        let seen = g.reachable(&[u32::try_from(entry).expect("fits")]);
+        let deep = g
+            .nodes
+            .iter()
+            .position(|n| n.qual.ends_with("deep"))
+            .expect("deep node");
+        assert!(seen[deep], "entry must reach deep through middle");
+    }
+
+    #[test]
+    fn aliased_assoc_call_resolves_to_the_type() {
+        let files = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                &["crate_a", "lib"],
+                "use crate_b::T as Alias; fn f() { Alias::make(); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                &["crate_b", "lib"],
+                "pub struct T; impl T { pub fn make() {} } \
+                 pub struct Other; impl Other { pub fn make() {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        let f = g
+            .nodes
+            .iter()
+            .position(|n| n.qual.ends_with("::f"))
+            .expect("f");
+        let callees: Vec<&str> = g.edges[f]
+            .iter()
+            .map(|&c| g.nodes[c as usize].qual.as_str())
+            .collect();
+        assert_eq!(callees, ["crate_b::lib::T::make"], "alias must narrow to T");
+    }
+
+    #[test]
+    fn method_calls_over_approximate_all_impls() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            &["crate_a", "lib"],
+            "struct A; impl A { fn go(&self) {} } struct B; impl B { fn go(&self) {} } \
+             fn f(a: &A) { a.go(); }",
+        )]);
+        let g = CallGraph::build(&files);
+        let f = g
+            .nodes
+            .iter()
+            .position(|n| n.qual.ends_with("::f"))
+            .expect("f");
+        assert_eq!(g.edges[f].len(), 2, "both impls are candidates");
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_same_crate() {
+        let files = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                &["crate_a", "lib"],
+                "fn helper() {} fn f() { helper(); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                &["crate_b", "lib"],
+                "pub fn helper() {}",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        let f = g
+            .nodes
+            .iter()
+            .position(|n| n.qual.ends_with("::f"))
+            .expect("f");
+        let callees: Vec<&str> = g.edges[f]
+            .iter()
+            .map(|&c| g.nodes[c as usize].qual.as_str())
+            .collect();
+        assert_eq!(callees, ["crate_a::lib::helper"]);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            &["crate_a", "lib"],
+            "fn a() { b(); c(); } fn b() {} fn c() {}",
+        )]);
+        let g = CallGraph::build(&files);
+        let d = g.dump();
+        assert!(d.contains("crate_a::lib::a -> crate_a::lib::b"));
+        let mut lines: Vec<&str> = d.lines().collect();
+        let sorted = {
+            let mut s = lines.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(lines, sorted);
+        lines.dedup();
+        assert_eq!(lines.len(), g.n_edges());
+    }
+}

@@ -1,4 +1,4 @@
-//! # wmcs-audit — workspace determinism & numeric-safety lint pass
+//! # wmcs-audit — workspace static analysis for determinism & numeric safety
 //!
 //! Every guarantee this repository sells — exact budget-balance and
 //! voluntary-participation gates, warm ≡ cold byte-identity,
@@ -10,12 +10,23 @@
 //!
 //! ## How it works
 //!
-//! A comment- and string-aware token scanner ([`lexer`]) walks every
-//! workspace `.rs` source; a rule registry ([`rules`]) defines six
-//! invariants; the engine ([`engine`]) classifies files by build role
-//! (library / binary / test), exempts `#[cfg(test)]` modules from the
-//! result-determinism rules, and honours inline pragmas for vetted
-//! exceptions:
+//! Two layers feed one diagnostic stream:
+//!
+//! * **Token rules** — a comment- and string-aware token scanner
+//!   ([`lexer`]) walks every workspace `.rs` source; the registry
+//!   ([`rules::RULES`]) defines six per-file invariants applied by the
+//!   [`engine`] with build-role classification (library / binary / test)
+//!   and `#[cfg(test)]` exemption.
+//! * **Workspace analyses** — a lightweight item parser ([`parser`])
+//!   extracts every `fn`, call site and `use` alias; a cross-crate call
+//!   graph ([`graph`]) joins them; the three [`analyses`] run
+//!   reachability over it: `parallel-float-reduction` (order-sensitive
+//!   float accumulation below an undisciplined thread-spawn),
+//!   `panic-path` (the service API's panic surface, pinned to a committed
+//!   baseline), and `forbidden-api` (banned symbols matched on
+//!   alias-resolved paths).
+//!
+//! Both layers honour inline pragmas for vetted exceptions:
 //!
 //! ```text
 //! // wmcs-audit: allow(<rule>): <justification, ≥ 10 chars>
@@ -27,15 +38,50 @@
 //! silently.
 //!
 //! The `wmcs-audit` binary (`cargo run -p wmcs-audit`) exits non-zero on
-//! any violation and is wired into CI next to clippy (which backs the
-//! rules it can express via `clippy.toml` `disallowed-types` /
-//! `disallowed-methods`) — see DESIGN.md §5 for the rule table.
+//! any violation; `--json` emits the machine-readable [`AuditReport`]
+//! that CI feeds through a GitHub problem matcher, and `--graph` dumps
+//! the call graph for inspection. See DESIGN.md §5 for the rule table.
+//!
+//! ## Adding an analysis
+//!
+//! 1. **Name the rule.** Add a `pub const MY_RULE: &str = "my-rule"`
+//!    kebab-case constant in [`rules`] and a row in
+//!    [`rules::ANALYSIS_RULES`] with `Scope::Workspace` — that one table
+//!    entry makes `--list-rules` print it and `allow(my-rule)` pragmas
+//!    validate.
+//! 2. **Implement [`analyses::Analysis`]** in a new
+//!    `src/analyses/my_rule.rs`: `rule()` returns the constant, `run()`
+//!    takes the parsed [`Workspace`] (files, token streams, `fn` items,
+//!    call graph) and returns raw [`Violation`]s anchored to `file:line`.
+//!    Do not apply pragmas yourself — the engine suppresses and tracks
+//!    unused pragmas uniformly for both layers.
+//! 3. **Register it** in [`analyses::ANALYSES`]. Order there is
+//!    diagnostic order.
+//! 4. **Prove it fires.** Add a failing mini-workspace under
+//!    `crates/audit/fixtures/` (excluded from the self-audit by
+//!    [`classify`]) and a test in `tests/analyses_cli.rs` that runs the
+//!    real binary with `--root` against it, asserting exit code 1 and the
+//!    `file:line` diagnostic; the workspace self-audit test then proves
+//!    it stays quiet on clean code.
+//!
+//! Analyses should over-approximate: on a reachability question, a
+//! spurious edge costs a pragma with a written justification, a missing
+//! edge costs a silent determinism bug in a shipped table.
 
 #![deny(missing_docs)]
 
+pub mod analyses;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-pub use engine::{audit_workspace, classify, scan_file, workspace_files, FileClass, Violation};
-pub use rules::{rule_by_name, Rule, Scope, RULES};
+pub use analyses::{Analysis, ANALYSES};
+pub use engine::{
+    audit_parsed, audit_workspace, classify, parse_workspace, scan_file, workspace_files,
+    AuditReport, FileClass, Violation, Workspace,
+};
+pub use graph::{CallGraph, FnNode};
+pub use parser::{parse_file, CallSite, FnItem, ParsedFile};
+pub use rules::{rule_by_name, Rule, Scope, ANALYSIS_RULES, RULES};

@@ -1,0 +1,716 @@
+//! A lightweight item parser on top of the [`crate::lexer`] token stream.
+//!
+//! The v2 call-graph analyses need to know *which function* a token
+//! belongs to and *what that function calls* — not full Rust semantics.
+//! This parser extracts exactly that much from one file:
+//!
+//! * every `fn` item (free, inherent/trait method, or nested), with its
+//!   fully-qualified path, visibility, enclosing `impl`/`trait` type and
+//!   body token range;
+//! * every call site (`name(…)`, `Path::name(…)`, `.name(…)`), attributed
+//!   to its innermost enclosing function, with `use`-alias resolution
+//!   applied to path-qualified calls so a renamed import cannot dodge a
+//!   resolved-path check;
+//! * the file's `use` alias table (`use a::b::C as D` ⇒ `D → a::b::C`,
+//!   including brace groups and nested groups).
+//!
+//! The grammar subset is deliberately "workspace Rust": no macro
+//! expansion, no type inference, generics skipped structurally. Anything
+//! the parser does not understand degrades to weaker resolution (a call
+//! with an unresolvable path keeps its written path), never to a crash —
+//! the same posture as the lexer.
+
+use crate::engine::FileClass;
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Fully-qualified path: `crate_name::module::Type::name` for
+    /// methods/associated functions, `crate_name::module::name` for free
+    /// functions (inline `mod` scopes included).
+    pub qual: String,
+    /// Enclosing `impl`/`trait` self-type name, if any.
+    pub self_ty: Option<String>,
+    /// `pub fn` with unrestricted visibility (`pub(crate)` etc. count as
+    /// private — they are not API surface).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body (brace to matching brace,
+    /// inclusive) in the file's token stream; empty for bodyless trait
+    /// method declarations.
+    pub body: std::ops::Range<usize>,
+    /// Defined inside a `#[cfg(test)] mod … { … }` region of a lib/bin
+    /// file — such functions never ship, so reachability analyses skip
+    /// them the same way the token rules do.
+    pub in_cfg_test: bool,
+}
+
+/// One call site inside a function body (or at item scope).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (last path segment / method name).
+    pub name: String,
+    /// Alias-resolved path segments for `Path::name(…)` calls (the
+    /// written path with its first segment expanded through the file's
+    /// `use` table; `crate`/`self`/`super` expanded against the module
+    /// path). Empty for bare calls and method calls.
+    pub path: Vec<String>,
+    /// `.name(…)` method-call form (receiver type unknown).
+    pub is_method: bool,
+    /// Index into [`ParsedFile::fns`] of the innermost enclosing
+    /// function, if any.
+    pub owner: Option<usize>,
+    /// 1-based line of the called name.
+    pub line: u32,
+}
+
+/// One file's parsed items, plus the token stream the ranges index into.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path (diagnostic anchor).
+    pub rel: String,
+    /// Build-role classification of the file.
+    pub class: FileClass,
+    /// The lexed token stream (analyses scan body ranges of it).
+    pub toks: Vec<Tok>,
+    /// All `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+    /// All call sites, in source order.
+    pub calls: Vec<CallSite>,
+    /// `use` alias table: local name → full path segments.
+    pub aliases: Vec<(String, Vec<String>)>,
+    /// Module path of the file itself (crate name + file modules).
+    pub module: Vec<String>,
+}
+
+impl ParsedFile {
+    /// Look an alias up by local name.
+    pub fn resolve_alias(&self, name: &str) -> Option<&[String]> {
+        self.aliases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+}
+
+/// What kind of scope a brace opened.
+#[derive(Debug, Clone)]
+enum ScopeKind {
+    /// `mod name { … }`.
+    Mod(String),
+    /// `impl Type { … }` / `trait Name { … }` — `self_ty` for methods.
+    SelfTy(String),
+    /// `fn … { … }` — index into `fns`. Other braces (blocks, closures,
+    /// match arms, struct literals) only bump the depth counter and never
+    /// land on the scope stack.
+    Fn(usize),
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth at which this scope closes.
+    depth: usize,
+}
+
+/// Parse one lexed file. `module` is the module path derived from the
+/// file's location (crate name first); `class` is its build role.
+pub fn parse_file(rel: &str, toks: Vec<Tok>, module: Vec<String>, class: FileClass) -> ParsedFile {
+    let in_test = crate::engine::test_region_mask(&toks);
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut calls: Vec<CallSite> = Vec::new();
+    let mut aliases: Vec<(String, Vec<String>)> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth = 0usize;
+
+    let is_p = |ci: usize, s: &str| {
+        code.get(ci)
+            .is_some_and(|&i| toks[i].kind == TokKind::Punct && toks[i].text == s)
+    };
+    let ident_at = |ci: usize| -> Option<&str> {
+        code.get(ci)
+            .and_then(|&i| (toks[i].kind == TokKind::Ident).then_some(toks[i].text.as_str()))
+    };
+
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        match t.kind {
+            TokKind::Punct if t.text == "{" => {
+                depth += 1;
+                ci += 1;
+            }
+            TokKind::Punct if t.text == "}" => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|s| s.depth > depth) {
+                    let s = scopes.pop().expect("non-empty scope stack");
+                    if let ScopeKind::Fn(fi) = s.kind {
+                        fns[fi].body.end = code[ci] + 1;
+                    }
+                }
+                ci += 1;
+            }
+            TokKind::Ident if t.text == "use" => {
+                ci = parse_use(&toks, &code, ci + 1, &module, &mut aliases);
+            }
+            TokKind::Ident if t.text == "mod" => {
+                // `mod name { … }` opens a module scope; `mod name;` is a
+                // file module handled by the per-file module path.
+                if let Some(name) = ident_at(ci + 1) {
+                    let name = name.to_string();
+                    if is_p(ci + 2, "{") {
+                        scopes.push(Scope {
+                            kind: ScopeKind::Mod(name),
+                            depth: depth + 1,
+                        });
+                        depth += 1;
+                        ci += 3;
+                    } else {
+                        ci += 2;
+                    }
+                } else {
+                    ci += 1;
+                }
+            }
+            TokKind::Ident if t.text == "impl" || t.text == "trait" => {
+                let is_trait = t.text == "trait";
+                let (name, next) = parse_impl_header(&toks, &code, ci + 1, is_trait);
+                if is_p(next, "{") {
+                    scopes.push(Scope {
+                        kind: ScopeKind::SelfTy(name),
+                        depth: depth + 1,
+                    });
+                    depth += 1;
+                    ci = next + 1;
+                } else {
+                    ci = next;
+                }
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let Some(name) = ident_at(ci + 1) else {
+                    ci += 1;
+                    continue;
+                };
+                let name = name.to_string();
+                let is_pub = fn_is_pub(&toks, &code, ci);
+                let (self_ty, qual) = qualify(&module, &scopes, &name);
+                let fi = fns.len();
+                fns.push(FnItem {
+                    name,
+                    qual,
+                    self_ty,
+                    is_pub,
+                    line: t.line,
+                    body: 0..0,
+                    in_cfg_test: in_test[code[ci]],
+                });
+                // Skip the signature (generics, params, return type,
+                // where clause) up to the body `{` or a bodyless `;`.
+                let mut j = ci + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                while j < code.len() {
+                    let tt = &toks[code[j]];
+                    if tt.kind == TokKind::Punct {
+                        match tt.text.as_str() {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "(" => paren += 1,
+                            ")" => paren -= 1,
+                            "{" if angle <= 0 && paren == 0 => break,
+                            ";" if paren == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if j < code.len() && is_p(j, "{") {
+                    fns[fi].body = code[j]..code[j] + 1;
+                    scopes.push(Scope {
+                        kind: ScopeKind::Fn(fi),
+                        depth: depth + 1,
+                    });
+                    depth += 1;
+                    ci = j + 1;
+                } else {
+                    ci = j.saturating_add(1).min(code.len());
+                }
+            }
+            TokKind::Ident => {
+                // Call-site detection: Ident followed by `(`, excluding
+                // declarations (preceded by `fn`) and macro calls
+                // (followed by `!`).
+                if is_p(ci + 1, "(") && !is_keyword(&t.text) {
+                    let owner = innermost_fn(&scopes);
+                    let prev_dot = is_p(ci.wrapping_sub(1), ".") && ci > 0;
+                    let path = call_path(&toks, &code, ci, &module, &aliases);
+                    if prev_dot {
+                        calls.push(CallSite {
+                            name: t.text.clone(),
+                            path: Vec::new(),
+                            is_method: true,
+                            owner,
+                            line: t.line,
+                        });
+                    } else {
+                        calls.push(CallSite {
+                            name: t.text.clone(),
+                            path,
+                            is_method: false,
+                            owner,
+                            line: t.line,
+                        });
+                    }
+                }
+                ci += 1;
+            }
+            _ => ci += 1,
+        }
+    }
+    // Close any scopes left open by a truncated file.
+    while let Some(s) = scopes.pop() {
+        if let ScopeKind::Fn(fi) = s.kind {
+            fns[fi].body.end = toks.len();
+        }
+    }
+    ParsedFile {
+        rel: rel.to_string(),
+        class,
+        toks,
+        fns,
+        calls,
+        aliases,
+        module,
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "fn"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "let"
+            | "else"
+            | "pub"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+            | "use"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "ref"
+            | "mut"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "extern"
+            | "break"
+            | "continue"
+            | "await"
+    )
+}
+
+/// Innermost enclosing function on the scope stack.
+fn innermost_fn(scopes: &[Scope]) -> Option<usize> {
+    scopes.iter().rev().find_map(|s| match s.kind {
+        ScopeKind::Fn(fi) => Some(fi),
+        _ => None,
+    })
+}
+
+/// Was the `fn` at code index `ci` declared `pub` (unrestricted)?
+/// Walks back over `const`/`unsafe`/`async`/`extern "…"` qualifiers.
+fn fn_is_pub(toks: &[Tok], code: &[usize], ci: usize) -> bool {
+    let mut j = ci;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[code[j]];
+        match t.kind {
+            TokKind::Ident
+                if matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern") => {}
+            TokKind::Str => {} // extern ABI string
+            TokKind::Ident if t.text == "pub" => return true,
+            // `pub(crate)` etc.: the `)` of the restriction lands here
+            // before `pub` — restricted visibility is not public API.
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Parse an `impl`/`trait` header starting after the keyword. Returns the
+/// self-type name (last path segment of the implemented-on type, with
+/// `impl Trait for Type` taking `Type`) and the code index of the body
+/// `{` (or wherever scanning stopped).
+fn parse_impl_header(
+    toks: &[Tok],
+    code: &[usize],
+    mut ci: usize,
+    is_trait: bool,
+) -> (String, usize) {
+    let mut angle = 0i32;
+    let mut in_where = false;
+    let mut name = String::new();
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" if angle <= 0 => break,
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 && !in_where => match t.text.as_str() {
+                // `impl Trait for Type`: the self type restarts after `for`.
+                "for" if !is_trait => name.clear(),
+                "where" => in_where = true,
+                "dyn" => {}
+                // The last path-segment ident before the body (or `for`,
+                // or `where`) is the self-type name.
+                other => name = other.to_string(),
+            },
+            _ => {}
+        }
+        ci += 1;
+    }
+    (name, ci)
+}
+
+/// Build the qualified path of a `fn` from the module path and scope
+/// stack. Returns `(self_ty, qual)`.
+fn qualify(module: &[String], scopes: &[Scope], name: &str) -> (Option<String>, String) {
+    let mut parts: Vec<&str> = module.iter().map(String::as_str).collect();
+    let mut self_ty: Option<String> = None;
+    for s in scopes {
+        match &s.kind {
+            ScopeKind::Mod(m) => parts.push(m),
+            ScopeKind::SelfTy(t) => self_ty = Some(t.clone()),
+            _ => {}
+        }
+    }
+    let mut parts: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    if let Some(t) = &self_ty {
+        parts.push(t.clone());
+    }
+    parts.push(name.to_string());
+    let qual = parts.join("::");
+    (self_ty, qual)
+}
+
+/// Extract and resolve the `a::b::name` path written before a call at
+/// code index `ci` (the called name). Returns the full resolved segment
+/// list including the name, or empty if the call is bare.
+fn call_path(
+    toks: &[Tok],
+    code: &[usize],
+    ci: usize,
+    module: &[String],
+    aliases: &[(String, Vec<String>)],
+) -> Vec<String> {
+    // Walk back over `seg ::` pairs: … seg : : seg : : name.
+    let mut segs: Vec<String> = vec![toks[code[ci]].text.clone()];
+    let mut j = ci;
+    loop {
+        if j < 3
+            || toks[code[j - 1]].kind != TokKind::Punct
+            || toks[code[j - 1]].text != ":"
+            || toks[code[j - 2]].kind != TokKind::Punct
+            || toks[code[j - 2]].text != ":"
+        {
+            break;
+        }
+        // Skip a turbofish `::<…>` segment: `seg :: < … > :: name` — the
+        // token before `::` would be `>`; paths in this workspace don't
+        // use turbofish before the final name, so treat it as a stop.
+        let prev = &toks[code[j - 3]];
+        if prev.kind != TokKind::Ident || is_keyword_path_stop(&prev.text) {
+            if prev.kind == TokKind::Ident {
+                segs.push(prev.text.clone());
+            }
+            break;
+        }
+        segs.push(prev.text.clone());
+        j -= 3;
+    }
+    if segs.len() < 2 {
+        return Vec::new();
+    }
+    segs.reverse();
+    resolve_path(segs, module, aliases)
+}
+
+/// Path-leading keywords that terminate backward path collection but are
+/// kept as the first segment for relative-path resolution.
+fn is_keyword_path_stop(s: &str) -> bool {
+    matches!(s, "crate" | "self" | "super" | "Self")
+}
+
+/// Resolve a written path against the module path and `use` aliases.
+pub fn resolve_path(
+    mut segs: Vec<String>,
+    module: &[String],
+    aliases: &[(String, Vec<String>)],
+) -> Vec<String> {
+    match segs.first().map(String::as_str) {
+        Some("crate") => {
+            let mut out = vec![module.first().cloned().unwrap_or_default()];
+            out.extend(segs.drain(1..));
+            out
+        }
+        Some("self") => {
+            let mut out: Vec<String> = module.to_vec();
+            out.extend(segs.drain(1..));
+            out
+        }
+        Some("super") => {
+            let mut out: Vec<String> = module[..module.len().saturating_sub(1)].to_vec();
+            out.extend(segs.drain(1..));
+            out
+        }
+        Some(first) => {
+            if let Some((_, full)) = aliases.iter().find(|(n, _)| n == first) {
+                let mut out = full.clone();
+                out.extend(segs.drain(1..));
+                out
+            } else {
+                segs
+            }
+        }
+        None => segs,
+    }
+}
+
+/// Parse a `use` declaration starting at the code index after `use`.
+/// Handles plain paths, `as` renames, brace groups (nested), and globs
+/// (ignored). Returns the code index after the terminating `;`.
+fn parse_use(
+    toks: &[Tok],
+    code: &[usize],
+    start: usize,
+    module: &[String],
+    aliases: &mut Vec<(String, Vec<String>)>,
+) -> usize {
+    // Collect the raw token texts of the declaration up to `;`.
+    let mut ci = start;
+    let mut flat: Vec<&Tok> = Vec::new();
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        if t.kind == TokKind::Punct && t.text == ";" {
+            ci += 1;
+            break;
+        }
+        flat.push(t);
+        ci += 1;
+    }
+    // Recursive expansion of the use tree.
+    fn walk(
+        toks: &[&Tok],
+        mut i: usize,
+        prefix: &[String],
+        module: &[String],
+        aliases: &mut Vec<(String, Vec<String>)>,
+    ) -> usize {
+        let mut path: Vec<String> = prefix.to_vec();
+        while i < toks.len() {
+            let t = toks[i];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Ident, "as") => {
+                    if let Some(alias) = toks.get(i + 1) {
+                        let resolved = resolve_leading(&path, module);
+                        aliases.push((alias.text.clone(), resolved));
+                    }
+                    return i + 2;
+                }
+                (TokKind::Ident, _) => {
+                    path.push(t.text.clone());
+                    i += 1;
+                }
+                (TokKind::Punct, ":") => i += 1,
+                (TokKind::Punct, "{") => {
+                    // Group: each comma-separated subtree extends `path`.
+                    i += 1;
+                    loop {
+                        i = walk(toks, i, &path, module, aliases);
+                        match toks.get(i).map(|t| t.text.as_str()) {
+                            Some(",") => i += 1,
+                            Some("}") => return i + 1,
+                            _ => return i,
+                        }
+                    }
+                }
+                (TokKind::Punct, "*") => {
+                    // Glob imports resolve nothing (documented limitation).
+                    return i + 1;
+                }
+                (TokKind::Punct, "," | "}") => break,
+                _ => i += 1,
+            }
+        }
+        if path.len() > prefix.len() {
+            let name = path.last().cloned().unwrap_or_default();
+            let resolved = resolve_leading(&path, module);
+            aliases.push((name, resolved));
+        }
+        i
+    }
+    /// Expand `crate`/`self`/`super` at the head of a use path.
+    fn resolve_leading(path: &[String], module: &[String]) -> Vec<String> {
+        resolve_path(path.to_vec(), module, &[])
+    }
+    walk(&flat, 0, &[], module, aliases);
+    ci
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(
+            "crates/x/src/lib.rs",
+            lex(src),
+            vec!["wmcs_x".into(), "lib".into()],
+            FileClass::Lib,
+        )
+    }
+
+    #[test]
+    fn free_fns_methods_and_nesting_qualify() {
+        let p = parse(
+            "
+pub fn top() {}
+mod inner {
+    pub struct S;
+    impl S {
+        pub fn method(&self) { helper(); }
+        fn helper_caller() { self::helper(); }
+    }
+    fn helper() {}
+}
+trait T { fn required(&self); fn provided(&self) { } }
+",
+        );
+        let quals: Vec<&str> = p.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert!(quals.contains(&"wmcs_x::lib::top"));
+        assert!(quals.contains(&"wmcs_x::lib::inner::S::method"));
+        assert!(quals.contains(&"wmcs_x::lib::inner::helper"));
+        assert!(quals.contains(&"wmcs_x::lib::T::required"));
+        assert!(quals.contains(&"wmcs_x::lib::T::provided"));
+        let method = p.fns.iter().find(|f| f.name == "method").expect("method");
+        assert!(method.is_pub);
+        assert_eq!(method.self_ty.as_deref(), Some("S"));
+        let helper = p.fns.iter().find(|f| f.name == "helper").expect("helper");
+        assert!(!helper.is_pub);
+        // The call inside `method` is attributed to `method`.
+        let call = p.calls.iter().find(|c| c.name == "helper").expect("call");
+        assert_eq!(p.fns[call.owner.expect("owned")].name, "method");
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let p = parse("struct S; trait T { fn f(&self); } impl T for S { fn f(&self) {} }");
+        let f = p
+            .fns
+            .iter()
+            .find(|f| f.name == "f" && f.self_ty.as_deref() == Some("S"))
+            .expect("impl fn");
+        assert_eq!(f.qual, "wmcs_x::lib::S::f");
+    }
+
+    #[test]
+    fn use_aliases_resolve_call_paths() {
+        let p = parse(
+            "
+use wmcs_wireless::universal::UniversalTree as UT;
+use std::collections::{BTreeMap, BTreeSet as Set};
+fn f() { let _ = UT::mst_tree(); let _ = Set::new(); }
+",
+        );
+        let call = p.calls.iter().find(|c| c.name == "mst_tree").expect("call");
+        assert_eq!(
+            call.path,
+            ["wmcs_wireless", "universal", "UniversalTree", "mst_tree"]
+        );
+        let set = p.calls.iter().find(|c| c.name == "new").expect("Set::new");
+        assert_eq!(set.path, ["std", "collections", "BTreeSet", "new"]);
+    }
+
+    #[test]
+    fn crate_relative_paths_resolve_against_the_module() {
+        let p = parse("fn f() { crate::builder::canonical(); }");
+        let call = p
+            .calls
+            .iter()
+            .find(|c| c.name == "canonical")
+            .expect("call");
+        assert_eq!(call.path, ["wmcs_x", "builder", "canonical"]);
+    }
+
+    #[test]
+    fn method_calls_are_marked_and_pathless() {
+        let p = parse("fn f(v: &[u32]) { v.iter().sum::<u32>(); helper(); }");
+        let iter = p.calls.iter().find(|c| c.name == "iter").expect("iter");
+        assert!(iter.is_method);
+        assert!(iter.path.is_empty());
+        let helper = p.calls.iter().find(|c| c.name == "helper").expect("helper");
+        assert!(!helper.is_method);
+    }
+
+    #[test]
+    fn pub_crate_is_not_public_api() {
+        let p = parse("pub(crate) fn internal() {} pub fn api() {} pub const fn capi() {}");
+        assert!(
+            !p.fns
+                .iter()
+                .find(|f| f.name == "internal")
+                .expect("fn")
+                .is_pub
+        );
+        assert!(p.fns.iter().find(|f| f.name == "api").expect("fn").is_pub);
+        assert!(p.fns.iter().find(|f| f.name == "capi").expect("fn").is_pub);
+    }
+
+    #[test]
+    fn bodies_cover_their_braces_and_close() {
+        let src = "fn a() { if x { y(); } } fn b() {}";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        let a = &p.fns[0];
+        let body: String = p.toks[a.body.clone()]
+            .iter()
+            .map(|t| t.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(body.starts_with('{') && body.ends_with('}'), "{body}");
+        assert!(body.contains('y'), "{body}");
+    }
+
+    #[test]
+    fn generic_signatures_do_not_derail_body_detection() {
+        let p = parse(
+            "fn g<T: Ord<Rhs = U>, const N: usize>(x: Vec<T>) -> impl Iterator<Item = T> \
+             where T: Clone { inner() }",
+        );
+        assert_eq!(p.fns.len(), 1);
+        let call = p.calls.iter().find(|c| c.name == "inner").expect("call");
+        assert_eq!(call.owner, Some(0));
+    }
+}

@@ -17,6 +17,10 @@ pub enum Scope {
     LibAndBin,
     /// Every audited file, including tests, benches and examples.
     Everywhere,
+    /// Applied by a workspace-level analysis over the call graph, not by
+    /// the per-file token scanner; file scoping is the analysis's own
+    /// business (see `crate::analyses`).
+    Workspace,
 }
 
 /// One statically enforced invariant.
@@ -50,6 +54,15 @@ pub const UNSAFE_WITHOUT_SAFETY_COMMENT: &str = "unsafe-without-safety-comment";
 /// Meta rule: malformed, unjustified, unknown-rule or unused
 /// `wmcs-audit:` pragmas are themselves violations.
 pub const AUDIT_PRAGMA: &str = "audit-pragma";
+/// No order-sensitive float accumulation reachable from an undisciplined
+/// thread-spawn site (see `analyses::parallel_reduction`).
+pub const PARALLEL_FLOAT_REDUCTION: &str = "parallel-float-reduction";
+/// The panic surface of the service ingestion API is pinned to a
+/// committed baseline (see `analyses::panic_path`).
+pub const PANIC_PATH: &str = "panic-path";
+/// Banned symbols, matched on alias-resolved call paths (see
+/// `analyses::forbidden_api`).
+pub const FORBIDDEN_API: &str = "forbidden-api";
 
 /// The six content rules, in diagnostic order.
 pub const RULES: &[Rule] = &[
@@ -93,9 +106,39 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
-/// Look a rule up by pragma name.
+/// The three workspace-level analysis rules, in diagnostic order. Their
+/// summaries live with the analyses themselves (`crate::analyses`); the
+/// entries here exist so `--list-rules` and pragma validation see one
+/// uniform registry.
+pub const ANALYSIS_RULES: &[Rule] = &[
+    Rule {
+        name: PARALLEL_FLOAT_REDUCTION,
+        summary: "no order-sensitive float accumulation (fold/sum/reduce, += on float \
+                  or lock-guarded state) reachable from a thread-spawn site that does \
+                  not place results in per-item OnceLock slots",
+        scope: Scope::Workspace,
+    },
+    Rule {
+        name: PANIC_PATH,
+        summary: "the panic surface reachable from the MulticastService/GroupSession \
+                  public API matches crates/audit/panic_baseline.txt; regenerate with \
+                  --write-panic-baseline",
+        scope: Scope::Workspace,
+    },
+    Rule {
+        name: FORBIDDEN_API,
+        summary: "no calls to banned symbols (removed substrate constructor shims, \
+                  std hash collections), matched on use-alias-resolved paths",
+        scope: Scope::Workspace,
+    },
+];
+
+/// Look a rule up by pragma name, across both token rules and analyses.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
-    RULES.iter().find(|r| r.name == name)
+    RULES
+        .iter()
+        .chain(ANALYSIS_RULES.iter())
+        .find(|r| r.name == name)
 }
 
 #[cfg(test)]
@@ -105,12 +148,19 @@ mod tests {
     #[test]
     fn registry_is_consistent() {
         assert_eq!(RULES.len(), 6);
+        assert_eq!(ANALYSIS_RULES.len(), 3);
         assert!(rule_by_name(UNWRAP_IN_LIB).is_some());
+        assert!(rule_by_name(PANIC_PATH).is_some());
+        assert!(rule_by_name(FORBIDDEN_API).is_some());
         assert!(rule_by_name("no-such-rule").is_none());
-        // Names are kebab-case and unique.
-        for (i, r) in RULES.iter().enumerate() {
+        // Names are kebab-case and unique across both tables.
+        let all: Vec<&Rule> = RULES.iter().chain(ANALYSIS_RULES.iter()).collect();
+        for (i, r) in all.iter().enumerate() {
             assert!(r.name.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
-            assert!(RULES[i + 1..].iter().all(|s| s.name != r.name));
+            assert!(all[i + 1..].iter().all(|s| s.name != r.name));
+        }
+        for r in ANALYSIS_RULES {
+            assert_eq!(r.scope, Scope::Workspace);
         }
     }
 }

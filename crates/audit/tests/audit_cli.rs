@@ -108,7 +108,7 @@ fn unwrap_fixture_passes_when_classed_as_test() {
 }
 
 #[test]
-fn list_rules_names_all_six() {
+fn list_rules_names_all_nine() {
     let out = run(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8(out.stdout).expect("UTF-8");
@@ -119,6 +119,9 @@ fn list_rules_names_all_six() {
         "lossy-cast",
         "nondeterminism-source",
         "unsafe-without-safety-comment",
+        "parallel-float-reduction",
+        "panic-path",
+        "forbidden-api",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
@@ -147,14 +150,27 @@ fn workspace_self_audit_via_library_api() {
         .nth(2)
         .expect("crate lives two levels below the workspace root")
         .to_path_buf();
-    let (violations, scanned) =
-        wmcs_audit::audit_workspace(&root).expect("workspace walk succeeds");
+    let report = wmcs_audit::audit_workspace(&root).expect("workspace walk succeeds");
     assert!(
-        violations.is_empty(),
-        "workspace has violations: {violations:?}"
+        report.violations.is_empty(),
+        "workspace has violations: {:?}",
+        report.violations
     );
     assert!(
-        scanned > 100,
-        "expected >100 workspace sources, got {scanned}"
+        report.files_scanned > 100,
+        "expected >100 workspace sources, got {}",
+        report.files_scanned
+    );
+    // The parsed workspace is non-trivial: the call graph actually joined
+    // the crates (a regression here would silently blind the analyses).
+    assert!(
+        report.functions > 500,
+        "expected >500 parsed fns, got {}",
+        report.functions
+    );
+    assert!(
+        report.call_edges > 1000,
+        "expected >1000 call edges, got {}",
+        report.call_edges
     );
 }

@@ -1,0 +1,124 @@
+//! Adversarial property tests for the audit lexer.
+//!
+//! The whole audit stands on the lexer never being fooled by
+//! rule-triggering text inside strings or comments, and never crashing on
+//! broken input (a syntactically invalid file must degrade to weaker
+//! auditing, not take CI down). Two attack surfaces, two suites:
+//!
+//! * **Fragment goldens** — each adversarial fragment (nested block
+//!   comments, raw/byte strings at several hash depths, lifetimes vs char
+//!   literals, exponent floats vs integer suffixes) is pinned to its exact
+//!   token-kind sequence, and random *sequences* of fragments must lex to
+//!   the concatenation of their golden kinds: no fragment may bleed past
+//!   its delimiter and swallow a neighbour.
+//! * **Char soup** — random strings over the lexer's trickiest alphabet
+//!   (quote, backslash, `r`, `#`, comment stars …) must lex without
+//!   panicking, deterministically, with monotone line numbers.
+
+use proptest::collection;
+use proptest::prelude::*;
+use wmcs_audit::lexer::{lex, TokKind};
+
+use TokKind::{BlockComment, CharLit, Ident, Lifetime, LineComment, Number, Punct, Str};
+
+/// Adversarial single-line fragments with their golden kind sequences.
+/// Every pair of fragments must compose when separated by a newline.
+const FRAGMENTS: &[(&str, &[TokKind])] = &[
+    ("/* outer /* nested */ tail */", &[BlockComment]),
+    ("/* a /* b /* c */ */ still comment */", &[BlockComment]),
+    ("r\"raw // not a comment\"", &[Str]),
+    ("r#\"raw \" quote inside\"#", &[Str]),
+    ("r##\"deeper \"# terminator inside\"##", &[Str]),
+    ("br#\"byte raw /* not a comment */\"#", &[Str]),
+    ("b\"bytes with \\\" escape\"", &[Str]),
+    ("\"plain /* not a comment */ string\"", &[Str]),
+    ("\"escaped \\\" quote\"", &[Str]),
+    ("'x'", &[CharLit]),
+    ("b'\\n'", &[CharLit]),
+    ("'\\''", &[CharLit]),
+    ("'static", &[Lifetime]),
+    ("&'a str", &[Punct, Lifetime, Ident]),
+    ("// line comment with \" and /* inside", &[LineComment]),
+    ("1e-9", &[Number]),
+    ("2.5E+3f64", &[Number]),
+    ("1_000u32", &[Number]),
+    ("0xFF_u8", &[Number]),
+    ("0b1010", &[Number]),
+    ("1..9", &[Number, Punct, Punct, Number]),
+    ("1.max(2)", &[Number, Punct, Ident, Punct, Number, Punct]),
+    ("x.unwrap()", &[Ident, Punct, Ident, Punct, Punct]),
+];
+
+/// The pinned goldens themselves, one by one, with readable failures.
+#[test]
+fn fragment_goldens_hold() {
+    for (src, want) in FRAGMENTS {
+        let got: Vec<TokKind> = lex(src).iter().map(|t| t.kind).collect();
+        assert_eq!(&got, want, "token kinds for {src:?}");
+    }
+}
+
+/// Characters the lexer branches on; soup drawn from these hits every
+/// delimiter state machine (strings, raw hashes, comments, exponents).
+const ALPHABET: &[char] = &[
+    '"', '\'', '\\', '/', '*', '#', 'r', 'b', 'e', 'E', '1', '9', '0', '.', '-', '+', '_', 'a',
+    'x', 'u', '3', '2', '\n', ' ', '(', ')', '!', '&',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Fragment sequences compose: joined with newlines, the token stream
+    /// is exactly the concatenation of the per-fragment goldens, and every
+    /// token carries the 1-based line of its fragment — so no raw string,
+    /// nested comment or line comment ever swallows its neighbour.
+    #[test]
+    fn fragments_never_bleed_across_newlines(picks in collection::vec(0u64..23, 1..24)) {
+        let idxs: Vec<usize> = picks
+            .iter()
+            .map(|&p| usize::try_from(p).expect("fragment index fits usize") % FRAGMENTS.len())
+            .collect();
+        let src: Vec<&str> = idxs.iter().map(|&i| FRAGMENTS[i].0).collect();
+        let toks = lex(&src.join("\n"));
+        let mut at = 0usize;
+        for (fragno, &i) in idxs.iter().enumerate() {
+            let want = FRAGMENTS[i].1;
+            for &kind in want {
+                let t = toks.get(at).unwrap_or_else(|| {
+                    panic!("fragment {i} ({:?}) truncated at token {at}", FRAGMENTS[i].0)
+                });
+                prop_assert_eq!(t.kind, kind, "fragment {} ({:?})", i, FRAGMENTS[i].0);
+                let line =
+                    u32::try_from(fragno + 1).expect("fragment count fits u32");
+                prop_assert_eq!(t.line, line, "line of fragment {} ({:?})", i, FRAGMENTS[i].0);
+                at += 1;
+            }
+        }
+        prop_assert_eq!(at, toks.len(), "trailing tokens after the last fragment");
+    }
+
+    /// Arbitrary soup over the delimiter alphabet: the lexer must not
+    /// panic (unterminated strings and comments degrade, not crash), must
+    /// be deterministic, and must keep token lines monotone and in range.
+    #[test]
+    fn char_soup_lexes_deterministically(picks in collection::vec(0u64..29, 0..120)) {
+        let src: String = picks
+            .iter()
+            .map(|&p| ALPHABET[usize::try_from(p).expect("alphabet index fits usize") % ALPHABET.len()])
+            .collect();
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.len(), b.len());
+        let total_lines = u32::try_from(src.matches('\n').count() + 1)
+            .expect("soup line count fits u32");
+        let mut prev = 1u32;
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.line, y.line);
+            prop_assert!(x.line >= prev, "token lines must be monotone in {src:?}");
+            prop_assert!(x.line <= total_lines, "token line past EOF in {src:?}");
+            prev = x.line;
+        }
+    }
+}

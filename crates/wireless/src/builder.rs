@@ -156,7 +156,7 @@ impl<'a> SubstrateBuilder<'a> {
 }
 
 /// Grow the canonical universal tree for `net` — the shared core of
-/// [`SubstrateBuilder::build`] and the deprecated constructor shims.
+/// every [`SubstrateBuilder::build`] path.
 pub(crate) fn canonical_tree(
     net: &WirelessNetwork,
     kind: TreeKind,

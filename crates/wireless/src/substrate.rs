@@ -39,11 +39,11 @@
 //! Construction goes through [`crate::builder::SubstrateBuilder`] — the
 //! single place a network is moved or cloned and the single choice
 //! point between the dense and spatial backends. The former
-//! free-standing constructors remain as thin deprecated shims.
+//! free-standing constructors are gone; the `forbidden-api` audit
+//! analysis keeps them out under any import spelling.
 //!
 //! [`UniversalTree`]: crate::universal::UniversalTree
 
-use crate::builder::{Backend, TreeKind};
 use crate::network::WirelessNetwork;
 use wmcs_graph::RootedTree;
 
@@ -224,27 +224,6 @@ impl TreeSubstrate {
         }
     }
 
-    /// Build from an owned network and an explicit spanning tree.
-    #[deprecated(note = "use SubstrateBuilder::from_owned(net).explicit_tree(tree).build()")]
-    pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
-        Self::build(net, tree)
-    }
-
-    /// Substrate over the shortest-path universal tree. Copies the
-    /// network once.
-    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Spt).build()")]
-    pub fn shortest_path(net: &WirelessNetwork) -> Self {
-        let tree = crate::builder::canonical_tree(net, TreeKind::Spt, Backend::Auto);
-        Self::build(net.clone(), tree)
-    }
-
-    /// Substrate over the MST universal tree. Copies the network once.
-    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Mst).build()")]
-    pub fn mst(net: &WirelessNetwork) -> Self {
-        let tree = crate::builder::canonical_tree(net, TreeKind::Mst, Backend::Auto);
-        Self::build(net.clone(), tree)
-    }
-
     /// The underlying network.
     pub fn network(&self) -> &WirelessNetwork {
         &self.net
@@ -336,7 +315,7 @@ impl TreeSubstrate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::SubstrateBuilder;
+    use crate::builder::{SubstrateBuilder, TreeKind};
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     use wmcs_geom::{Point, PowerModel};
 
@@ -415,18 +394,6 @@ mod tests {
         assert!(b >= 32 * 32 * 8, "dense matrix missing from {b}");
         // CSR arrays are exactly one allocation each: capacity == len.
         assert!(b < 32 * 32 * 8 + 32 * 200, "overcounted: {b}");
-    }
-
-    #[test]
-    fn deprecated_shims_still_build_the_same_substrate() {
-        #![allow(deprecated)]
-        let net = random_net(2, 12);
-        let via_builder = SubstrateBuilder::new(&net).tree(TreeKind::Spt).build();
-        let via_shim = TreeSubstrate::shortest_path(&net);
-        assert_eq!(via_builder.bfs_order(), via_shim.bfs_order());
-        for v in 0..12 {
-            assert_eq!(via_builder.parent_of(v), via_shim.parent_of(v));
-        }
     }
 
     #[test]

@@ -37,39 +37,13 @@ pub struct UniversalTree {
 }
 
 impl UniversalTree {
-    /// Wrap an explicit spanning tree rooted at the source (consumes the
-    /// network into a fresh substrate).
-    #[deprecated(
-        note = "use SubstrateBuilder::from_owned(net).explicit_tree(tree).build_universal()"
-    )]
-    pub fn new(net: WirelessNetwork, tree: RootedTree) -> Self {
-        crate::builder::SubstrateBuilder::from_owned(net)
-            .explicit_tree(tree)
-            .build_universal()
-    }
-
-    /// Handle on an existing shared substrate.
+    /// Handle on an existing shared substrate. All construction routes
+    /// through [`crate::builder::SubstrateBuilder`]; the former
+    /// free-standing constructors (`new`, `shortest_path_tree`,
+    /// `mst_tree`) were removed and are enforced absent by the
+    /// `forbidden-api` audit analysis.
     pub fn from_substrate(sub: Arc<TreeSubstrate>) -> Self {
         Self { sub }
-    }
-
-    /// The shortest-path universal tree (the Penna–Ventre choice discussed
-    /// in §2.1). Copies the network once, into the substrate.
-    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Spt).build_universal()")]
-    pub fn shortest_path_tree(net: &WirelessNetwork) -> Self {
-        crate::builder::SubstrateBuilder::new(net)
-            .tree(crate::builder::TreeKind::Spt)
-            .build_universal()
-    }
-
-    /// The MST universal tree (the Wieselthier et al. broadcast heuristic
-    /// \[50\] turned universal). Copies the network once, into the
-    /// substrate.
-    #[deprecated(note = "use SubstrateBuilder::new(net).tree(TreeKind::Mst).build_universal()")]
-    pub fn mst_tree(net: &WirelessNetwork) -> Self {
-        crate::builder::SubstrateBuilder::new(net)
-            .tree(crate::builder::TreeKind::Mst)
-            .build_universal()
     }
 
     /// The shared substrate this handle points at.
