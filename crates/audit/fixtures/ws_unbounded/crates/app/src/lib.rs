@@ -1,0 +1,21 @@
+//! Fixture: unbounded channel constructors called through renamed
+//! imports — the spellings `forbidden-api` must resolve away. A plain
+//! text grep for `channel::unbounded` or `mpsc::channel` finds neither
+//! call below. Audited via `wmcs-audit --root`, never compiled.
+
+use crossbeam::channel as chan;
+use std::sync::mpsc as pipe;
+
+/// An unbounded crossbeam-style channel under a module alias; the audit
+/// must still flag it.
+pub fn open_firehose() {
+    let (_tx, _rx) = chan::unbounded();
+}
+
+/// The std unbounded channel under a module alias. The **bounded**
+/// `sync_channel` next to it stays legal — the registry entry must not
+/// suffix-match it.
+pub fn open_std_pipe() {
+    let (_tx, _rx) = pipe::channel();
+    let (_tx2, _rx2) = pipe::sync_channel(1);
+}

@@ -17,10 +17,13 @@
 //! parser cannot type.
 //!
 //! The registry is seeded with the substrate shims removed in this PR
-//! (so they can never be reintroduced, under any import spelling) and
-//! the std hash collections, whose iteration order is nondeterministic —
+//! (so they can never be reintroduced, under any import spelling), the
+//! std hash collections, whose iteration order is nondeterministic —
 //! defense in depth alongside the token-level `nondeterministic-
-//! iteration` rule, which only sees literal `HashMap` tokens.
+//! iteration` rule, which only sees literal `HashMap` tokens — and the
+//! unbounded channel constructors (`crossbeam`-style
+//! `channel::unbounded`, `std::sync::mpsc::channel`), which would
+//! silently void the streaming layer's bounded-admission contract.
 
 use super::Analysis;
 use crate::engine::{FileClass, Violation, Workspace};
@@ -86,6 +89,22 @@ pub const REGISTRY: &[Banned] = &[
         match_method: false,
         instead: "BTreeSet (deterministic iteration order)",
     },
+    // Unbounded channel constructors: the streaming layer's admission
+    // contract (PR 9) is that every queue is bounded and saturation is
+    // surfaced as a deterministic `Admission::Busy` — an unbounded
+    // channel anywhere in a product path silently repeals it. Note the
+    // `mpsc::channel` entry does not catch `mpsc::sync_channel` (the
+    // bounded constructor stays legal).
+    Banned {
+        pattern: "channel::unbounded",
+        match_method: false,
+        instead: "a bounded queue (`channel::bounded` semantics; see wmcs_wireless::stream)",
+    },
+    Banned {
+        pattern: "mpsc::channel",
+        match_method: false,
+        instead: "std::sync::mpsc::sync_channel (bounded) or the stream layer's queues",
+    },
 ];
 
 /// The `forbidden-api` analysis (see module docs).
@@ -97,9 +116,9 @@ impl Analysis for ForbiddenApi {
     }
 
     fn summary(&self) -> &'static str {
-        "banned symbols (removed substrate constructor shims, std hash collections) \
-         must not be called; matched on use-alias-resolved paths, so renamed \
-         imports cannot dodge the registry"
+        "banned symbols (removed substrate constructor shims, std hash collections, \
+         unbounded channel constructors) must not be called; matched on \
+         use-alias-resolved paths, so renamed imports cannot dodge the registry"
     }
 
     fn run(&self, ws: &Workspace) -> Vec<Violation> {

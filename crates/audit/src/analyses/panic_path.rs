@@ -38,7 +38,12 @@ use std::collections::BTreeMap;
 
 /// Self-types whose `pub fn`s root the reachability walk: the service
 /// ingestion API.
-pub const ROOT_TYPES: &[&str] = &["MulticastService", "GroupSession"];
+pub const ROOT_TYPES: &[&str] = &[
+    "MulticastService",
+    "GroupSession",
+    "StreamService",
+    "StreamHandle",
+];
 
 /// Workspace-relative path of the committed baseline.
 pub const BASELINE_PATH: &str = "crates/audit/panic_baseline.txt";

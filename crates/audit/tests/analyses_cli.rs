@@ -144,6 +144,56 @@ fn forbidden_api_fixture_fails_through_a_renamed_import() {
 }
 
 #[test]
+fn unbounded_channel_fixture_fails_but_bounded_stays_legal() {
+    let (code, stdout, _) = audit_root("ws_unbounded", &[]);
+    assert_eq!(code, 1, "aliased unbounded channels must fail:\n{stdout}");
+    let caps = diagnostics(&stdout);
+    assert_eq!(
+        caps.len(),
+        2,
+        "exactly the two unbounded constructors (sync_channel is legal):\n{stdout}"
+    );
+    assert!(
+        caps.iter()
+            .all(|(f, n, r)| f == "crates/app/src/lib.rs" && *n > 0 && r == "forbidden-api"),
+        "every diagnostic names the fixture file and rule:\n{stdout}"
+    );
+    // The fixture writes `chan::unbounded()` / `pipe::channel()`; the
+    // diagnostics must cite the registry patterns via resolved paths.
+    for needle in ["channel::unbounded", "mpsc::channel", "bounded"] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+    assert!(
+        !stdout.contains("sync_channel()"),
+        "the bounded constructor must not be flagged:\n{stdout}"
+    );
+}
+
+/// The streaming verdict paths are wall-clock free, by scan not by
+/// convention: the virtual-clock sources feeding T14's latency
+/// percentiles (`wmcs-wireless::stream`, `wmcs-bench::latency`) must
+/// carry no `Instant`/`SystemTime` (nor any other lib-scope violation)
+/// under the real token scanner. Timing may appear in benches and the
+/// `stream_slo` example — those are `Test`-class files — but never in
+/// these two libraries.
+#[test]
+fn stream_and_latency_sources_carry_no_wall_clock() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for rel in [
+        "crates/wireless/src/stream.rs",
+        "crates/bench/src/latency.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel))
+            .unwrap_or_else(|e| panic!("{rel} must exist: {e}"));
+        let violations = wmcs_audit::scan_file(rel, &src, wmcs_audit::FileClass::Lib);
+        assert!(
+            violations.is_empty(),
+            "{rel} must scan clean as a verdict-path library: {violations:?}"
+        );
+    }
+}
+
+#[test]
 fn json_report_round_trips_the_human_diagnostics() {
     let (code, human, _) = audit_root("ws_forbidden", &[]);
     assert_eq!(code, 1);

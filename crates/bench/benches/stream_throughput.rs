@@ -1,0 +1,187 @@
+//! Streaming ingestion throughput: epoch-pipelined vs single-worker vs
+//! batch replay (criterion).
+//!
+//! One deterministic [`MultiGroupProcess`] workload — G = 1024 groups
+//! (alternating Shapley / MC) with Zipf sizes over an n = 4096 uniform
+//! instance — is flattened into the round-robin interleaved stream
+//! ([`MultiGroupTrace::interleaved`]) and served three ways:
+//!
+//! * `pipelined` — one [`StreamService`] (watermark 8, capacity 64) with
+//!   2 epoch workers: the producer seals epochs while the pool reprices
+//!   earlier ones;
+//! * `single_worker` — the same service with 1 worker (the smallest
+//!   streaming configuration; outcomes are byte-identical by T14's
+//!   gate);
+//! * `batch_replay` — the pre-streaming status quo: a single-threaded
+//!   [`MulticastService`] stepping each group's [`epoch_plan`] chunks —
+//!   the pinned reference the streaming runs are identical to.
+//!
+//! All variants start from the same warmed state (each group's warm-up
+//! batch absorbed outside the timers) and replay the same churn stream;
+//! the warm services are cloned inside the timers (no `iter_batched` in
+//! the vendored shim), which counts *against* them — recorded ratios
+//! are conservative. Setup prints the events per iteration so timings
+//! convert to events/sec; the headline numbers are recorded in
+//! EXPERIMENTS.md. The ≥ 1M events/s SLO itself is asserted by the
+//! release-mode `stream_slo` example (G = 4096 × n = 10⁵), not here.
+//!
+//! `WMCS_BENCH_SMOKE=1` shrinks the workload (G = 32, n = 256) and the
+//! measurement time so CI can compile-and-run this bench as a bit-rot
+//! gate (see `.github/workflows/ci.yml`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wmcs_bench::harness::random_euclidean;
+use wmcs_geom::{ChurnEvent, MultiGroupProcess, MultiGroupTrace};
+use wmcs_wireless::{
+    epoch_plan, GroupMechanism, MulticastService, StreamConfig, StreamService, SubstrateBuilder,
+    TreeKind, UniversalTree,
+};
+
+/// Churn batches per group after the warm-up batch.
+const BATCHES: usize = 4;
+/// Count watermark sealing an epoch.
+const WATERMARK: usize = 8;
+/// Bounded per-group queue capacity.
+const CAPACITY: usize = 64;
+
+fn smoke() -> bool {
+    std::env::var_os("WMCS_BENCH_SMOKE").is_some()
+}
+
+/// Instance + multi-group workload at (n stations, G groups).
+fn setup(n: usize, g: usize) -> (UniversalTree, MultiGroupTrace) {
+    let net = random_euclidean(42, n, 2.0, 10.0);
+    let ut = SubstrateBuilder::new(&net)
+        .tree(TreeKind::Spt)
+        .build_universal();
+    let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
+    let hi = 2.0 * broadcast / (n - 1) as f64;
+    let trace = MultiGroupProcess::new(n - 1, g, BATCHES, hi, 43).generate();
+    (ut, trace)
+}
+
+/// The trace restricted to one batch range, so `interleaved()` yields
+/// the warm-up stream (`0..1`) or the churn stream (`1..`).
+fn slice_batches(trace: &MultiGroupTrace, skip: usize, take: usize) -> MultiGroupTrace {
+    let mut t = trace.clone();
+    for g in &mut t.groups {
+        let batches = std::mem::take(&mut g.trace.batches);
+        g.trace.batches = batches.into_iter().skip(skip).take(take).collect();
+    }
+    t
+}
+
+fn stream_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_throughput");
+    group.sample_size(10);
+    let (n, g) = if smoke() { (256, 32) } else { (4096, 1024) };
+
+    let (ut, trace) = setup(n, g);
+    let warmup_stream = slice_batches(&trace, 0, 1).interleaved();
+    let churn_stream = slice_batches(&trace, 1, BATCHES).interleaved();
+    eprintln!(
+        "stream_throughput: n={n} G={g}, {} churn events per iteration \
+         (watermark {WATERMARK}, capacity {CAPACITY}, {BATCHES} batches/group)",
+        churn_stream.len()
+    );
+    let label = format!("G{g}_n{n}");
+
+    // Warmed streaming services: the warm-up stream absorbed outside
+    // the timers, cloned (warm state, fresh accounting) inside them.
+    let warm_stream_svc = |threads: usize| {
+        let mut svc = StreamService::new(&ut, StreamConfig::new(WATERMARK, CAPACITY, threads));
+        for i in 0..g {
+            svc.add_group(GroupMechanism::alternating(i));
+        }
+        let ((), _) = svc.drive(|h| {
+            for &(group, ev) in &warmup_stream {
+                h.submit_blocking(group, ev);
+            }
+        });
+        svc
+    };
+    let warmed2 = warm_stream_svc(2);
+    let warmed1 = warm_stream_svc(1);
+
+    group.bench_with_input(BenchmarkId::new("pipelined", &label), &g, |b, _| {
+        b.iter(|| {
+            let mut svc = warmed2.clone();
+            let ((), report) = svc.drive(|h| {
+                for &(group, ev) in &churn_stream {
+                    h.submit_blocking(group, ev);
+                }
+            });
+            report.n_epochs()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("single_worker", &label), &g, |b, _| {
+        b.iter(|| {
+            let mut svc = warmed1.clone();
+            let ((), report) = svc.drive(|h| {
+                for &(group, ev) in &churn_stream {
+                    h.submit_blocking(group, ev);
+                }
+            });
+            report.n_epochs()
+        })
+    });
+
+    // The pinned reference: a warmed single-threaded batch service
+    // stepping each group's epoch-plan chunks.
+    let config = StreamConfig::new(WATERMARK, CAPACITY, 1);
+    let plans: Vec<Vec<Vec<ChurnEvent>>> = (0..g)
+        .map(|gi| {
+            let events: Vec<ChurnEvent> = churn_stream
+                .iter()
+                .filter(|&&(eg, _)| eg == gi)
+                .map(|&(_, ev)| ev)
+                .collect();
+            epoch_plan(&events, &config)
+        })
+        .collect();
+    let mut warmed_batch = MulticastService::new(&ut).with_threads(1);
+    for i in 0..g {
+        warmed_batch.add_group(GroupMechanism::alternating(i));
+    }
+    let warmup_batches: Vec<Vec<ChurnEvent>> = trace
+        .groups
+        .iter()
+        .map(|gr| gr.trace.batches[0].clone())
+        .collect();
+    warmed_batch.step_all(&warmup_batches);
+
+    group.bench_with_input(BenchmarkId::new("batch_replay", &label), &g, |b, _| {
+        b.iter(|| {
+            let mut svc = warmed_batch.clone();
+            let mut epochs = 0usize;
+            for (gi, plan) in plans.iter().enumerate() {
+                for chunk in plan {
+                    svc.step(&[(gi, chunk)]);
+                    epochs += 1;
+                }
+            }
+            epochs
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    if smoke() {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(80))
+            .warm_up_time(Duration::from_millis(20))
+    } else {
+        Criterion::default()
+            .measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_millis(500))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = stream_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerate experiment T14 (see EXPERIMENTS.md) over its full scenario
+//! matrix — epoch-pipelined streaming ingestion gated byte-identical to
+//! single-threaded batch replay, with exact latency percentiles. Usage:
+//! `table_stream [SEEDS] [--json]`.
+fn main() {
+    wmcs_bench::cli::table_main("T14");
+}

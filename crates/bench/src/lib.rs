@@ -10,24 +10,30 @@
 //!   `(experiment × scenario × seed)` cells;
 //! * [`compare`] — the versioned sweep-summary JSON schema and the
 //!   baseline diff behind the `bench_compare` CI gate;
+//! * [`latency`] — exact p50/p99/p999 percentiles (deterministic
+//!   nearest-rank math) over the streaming layer's virtual-clock
+//!   samples, per event class;
 //! * table binaries: `fig1_collusion` (F1), `fig2_empty_core` (F2),
 //!   `table_universal_tree` (T1), `table_nwst_bb` (T2),
 //!   `table_wireless_bb` (T3), `table_euclidean_optimal` (T4),
 //!   `table_submodularity_violations` (T5), `table_mst_ratio` (T6),
 //!   `table_jv_bb` (T7), `table_eq5_ablation` (T9), `table_scaling`
 //!   (T10, the incremental-engine n ≤ 4096 scaling table),
-//!   `table_churn` (T11, the live-session churn table) and
-//!   `table_service` (T12, the sharded multi-group service table) —
-//!   each a thin [`cli::table_main`] shim — plus `all_experiments` to
-//!   sweep the whole registry and `bench_compare` to diff two summary
-//!   files;
+//!   `table_churn` (T11, the live-session churn table),
+//!   `table_service` (T12, the sharded multi-group service table) and
+//!   `table_stream` (T14, the streaming ≡ batch byte-identity table
+//!   with exact latency percentiles) — each a thin [`cli::table_main`]
+//!   shim — plus `all_experiments` to sweep the whole registry and
+//!   `bench_compare` to diff two summary files;
 //! * criterion benches (`cargo bench`): timing/scaling of every
 //!   mechanism and substrate (T8), plus `drop_engine` pitting the naive
 //!   drop loop against the incremental engine, `session_churn` pitting
-//!   warm live sessions against cold per-batch rebuilds, and
+//!   warm live sessions against cold per-batch rebuilds,
 //!   `service_throughput` pitting the sharded multi-group service
 //!   against single-thread and per-group cold servings at
-//!   G = 1024 × n = 4096.
+//!   G = 1024 × n = 4096, and `stream_throughput` pitting the
+//!   epoch-pipelined streaming layer against single-worker streaming
+//!   and batch replay on the same interleaved workload.
 
 // Every public item carries rustdoc: substrate crates feed the
 // mechanism layers above them, and undocumented invariants become
@@ -39,6 +45,7 @@ pub mod compare;
 pub mod engine;
 pub mod experiments;
 pub mod harness;
+pub mod latency;
 pub mod registry;
 
 pub use engine::{run_sweep, SweepConfig, SweepRun};
@@ -46,4 +53,5 @@ pub use harness::{
     random_euclidean, random_euclidean_d, random_line, random_nwst, random_utilities, OutputMode,
     Table,
 };
+pub use latency::{EventClass, LatencyRecorder, LatencySummary};
 pub use registry::{Experiment, REGISTRY};

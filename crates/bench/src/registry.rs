@@ -92,6 +92,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiments::t11::T11,
     &crate::experiments::t12::T12,
     &crate::experiments::t13::T13,
+    &crate::experiments::t14::T14,
 ];
 
 /// Resolve an experiment by id (case-insensitive).

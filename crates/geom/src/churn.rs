@@ -288,6 +288,37 @@ impl MultiGroupTrace {
     pub fn n_batches(&self) -> usize {
         self.groups.first().map_or(0, |g| g.trace.batches.len())
     }
+
+    /// The trace flattened into one interleaved `(group, event)` stream —
+    /// the input shape of the streaming ingestion layer
+    /// (`wmcs-wireless::stream`).
+    ///
+    /// Within each batch round, events are taken **round-robin across
+    /// groups** (position 0 of every group in group order, then position
+    /// 1, …), so concurrent groups genuinely contend instead of arriving
+    /// one group at a time. The stream preserves each group's own event
+    /// order, hence replaying the per-group subsequences batch-wise is
+    /// equivalent to replaying the original trace — and the interleaving
+    /// is a pure function of the trace, fully deterministic.
+    pub fn interleaved(&self) -> Vec<(usize, ChurnEvent)> {
+        let mut stream = Vec::with_capacity(self.n_events());
+        for b in 0..self.n_batches() {
+            let widest = self
+                .groups
+                .iter()
+                .map(|g| g.trace.batches[b].len())
+                .max()
+                .unwrap_or(0);
+            for i in 0..widest {
+                for (gi, g) in self.groups.iter().enumerate() {
+                    if let Some(&ev) = g.trace.batches[b].get(i) {
+                        stream.push((gi, ev));
+                    }
+                }
+            }
+        }
+        stream
+    }
 }
 
 /// Seedable generator of [`MultiGroupTrace`]s — the churn analogue of the
@@ -522,6 +553,34 @@ mod tests {
             let size = g.members.len();
             assert_eq!(g.trace.batches[1].len(), (size / 128).max(2));
         }
+    }
+
+    #[test]
+    fn interleaving_round_robins_groups_and_preserves_per_group_order() {
+        let p = MultiGroupProcess::new(60, 5, 4, 2.0, 13);
+        let t = p.generate();
+        let stream = t.interleaved();
+        assert_eq!(stream.len(), t.n_events());
+        assert_eq!(stream, t.interleaved(), "interleaving is deterministic");
+        // Per-group subsequences equal the flattened per-group traces.
+        for (gi, g) in t.groups.iter().enumerate() {
+            let sub: Vec<ChurnEvent> = stream
+                .iter()
+                .filter(|&&(sg, _)| sg == gi)
+                .map(|&(_, ev)| ev)
+                .collect();
+            let flat: Vec<ChurnEvent> = g
+                .trace
+                .batches
+                .iter()
+                .flat_map(|b| b.iter().copied())
+                .collect();
+            assert_eq!(sub, flat, "group {gi} order must be preserved");
+        }
+        // The head of the stream is position 0 of every group in batch 0
+        // (round-robin, not group-after-group).
+        let head: Vec<usize> = stream[..t.groups.len()].iter().map(|&(g, _)| g).collect();
+        assert_eq!(head, (0..t.groups.len()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * [`service`] — the sharded multi-group service layer: G concurrent
 //!   groups, each a warm session, priced over one substrate by a
 //!   work-stealing worker pool with per-group byte-determinism;
+//! * [`stream`] — epoch-pipelined streaming ingestion: interleaved
+//!   `(group, event)` streams through bounded per-group queues with
+//!   deterministic count-watermark epoch sealing and `Busy`
+//!   backpressure, byte-identical to single-threaded batch replay;
 //! * [`memt`] — exact minimum-energy multicast (set-state Dijkstra) and the
 //!   all-subsets `C*` table, the optimum reference for every β-BB claim;
 //! * [`mst_heuristic`] — the MST broadcast heuristic \[50\] and the KMB
@@ -53,6 +57,7 @@ pub mod network;
 pub mod power;
 pub mod service;
 pub mod session;
+pub mod stream;
 pub mod substrate;
 pub mod universal;
 
@@ -69,6 +74,10 @@ pub use network::WirelessNetwork;
 pub use power::PowerAssignment;
 pub use service::{GroupMechanism, GroupOutcome, GroupSession, MulticastService};
 pub use session::{vcg_outcome, ChurnEvent, ChurnProcess, ChurnTrace, McSession, ShapleySession};
+pub use stream::{
+    epoch_plan, replay_reference, Admission, EpochOutcome, GroupStreamReport, StreamConfig,
+    StreamHandle, StreamLatencies, StreamReport, StreamService,
+};
 pub use substrate::{NodeId, TreeSubstrate, NO_STATION};
 pub use universal::{UniversalTree, UniversalTreeCost};
 

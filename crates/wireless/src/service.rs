@@ -210,6 +210,16 @@ impl MulticastService {
         &self.ut
     }
 
+    /// The full-length bid profile group `g` would reprice with next
+    /// (zero outside the group's session) — the VP gates read charges
+    /// against exactly this profile.
+    pub fn reported_profile(&self, g: usize) -> Vec<f64> {
+        self.groups[g]
+            .lock()
+            .expect("a group mutex is never poisoned")
+            .reported_profile()
+    }
+
     /// Steps executed so far.
     pub fn n_steps(&self) -> usize {
         self.steps

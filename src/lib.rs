@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use wmcs_nwst::{NodeWeightedGraph, NwstConfig};
     pub use wmcs_wireless::{
-        memt_exact, AlphaOneSolver, Backend, ChurnEvent, ChurnProcess, ChurnTrace, GroupMechanism,
-        LineSolver, McSession, MulticastService, PowerAssignment, ShapleySession, SubstrateBuilder,
-        TreeKind, UniversalTree, WirelessNetwork,
+        memt_exact, Admission, AlphaOneSolver, Backend, ChurnEvent, ChurnProcess, ChurnTrace,
+        GroupMechanism, LineSolver, McSession, MulticastService, PowerAssignment, ShapleySession,
+        StreamConfig, StreamService, SubstrateBuilder, TreeKind, UniversalTree, WirelessNetwork,
     };
 }
