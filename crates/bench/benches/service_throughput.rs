@@ -35,7 +35,8 @@ use wmcs_geom::{ChurnEvent, MultiGroupProcess, MultiGroupTrace};
 use wmcs_wireless::incremental::{shapley_drop_run_from, NetWorthOracle};
 use wmcs_wireless::session::vcg_outcome;
 use wmcs_wireless::{
-    GroupMechanism, GroupSession, MulticastService, SubstrateBuilder, TreeKind, UniversalTree,
+    GroupMechanism, GroupSession, MulticastService, SessionLayout, SubstrateBuilder, TreeKind,
+    UniversalTree,
 };
 
 /// Churn batches per group after the warm-up batch.
@@ -140,6 +141,9 @@ fn record_cold_states(
                         s.reprice();
                         ColdState::Mc(state)
                     }
+                    GroupSession::SparseShapley(_) | GroupSession::SparseMc(_) => {
+                        unreachable!("GroupSession::new pins the dense layout")
+                    }
                 })
                 .collect()
         })
@@ -165,6 +169,11 @@ fn service_throughput(c: &mut Criterion) {
     let warmed = warmed_service(&ut, &trace, 0);
     let warmed_serial = warmed.clone().with_threads(1);
     let label = format!("G{g}_n{n}");
+    eprintln!(
+        "service_throughput: warm session state {} bytes/group ({:?} layout via Auto)",
+        warmed.memory_bytes() / g,
+        SessionLayout::Auto.resolve(n)
+    );
 
     group.bench_with_input(BenchmarkId::new("sharded", &label), &g, |b, _| {
         b.iter(|| {

@@ -1,0 +1,7 @@
+//! Regenerate experiment T15 (see EXPERIMENTS.md) over its full scenario
+//! matrix — compact-frame (sparse) warm sessions gated byte-identical to
+//! the dense reference, with warm bytes/group for both layouts. Usage:
+//! `table_sparse [SEEDS] [--json]`.
+fn main() {
+    wmcs_bench::cli::table_main("T15");
+}

@@ -1,0 +1,138 @@
+//! T15 — sparse table: compact-frame warm sessions gated byte-identical
+//! to the dense reference, with warm bytes/group for both layouts.
+//!
+//! Each `(scenario, seed)` cell serves the same deterministic
+//! [`MultiGroupProcess`] workload T12 uses through **two**
+//! [`MulticastService`]s over one shared substrate: the pinned dense
+//! layout ([`SessionLayout::Dense`] — universe-sized warm vectors) and
+//! the compact-frame layout ([`SessionLayout::Sparse`] — warm state over
+//! the path closure of each group's members only, §2f of DESIGN.md).
+//! After **every batch** the cell gates byte-identity of the full
+//! outcome: receivers, every `f64` share bit, and served cost.
+//!
+//! The warm bytes/group of both layouts land in the table as
+//! informational columns. At table scale (n ≤ 256) the universes are
+//! small, so the ratio hovers near 1 — the ≥ 10× saving the sparse
+//! layout exists for is measured at G = 4096 × n = 10⁵ in the
+//! release-mode `stream_slo` example (see EXPERIMENTS.md); this table's
+//! job is the identity gate across every layout family × mechanism mix.
+
+use crate::harness::scenario_network;
+use crate::registry::{all_true, mean, Experiment, Obs, RowSummary};
+use wmcs_geom::{LayoutFamily, MultiGroupProcess, Scenario, EPS};
+use wmcs_wireless::{GroupMechanism, MulticastService, SessionLayout, SubstrateBuilder, TreeKind};
+
+/// Churn batches per group (after the per-group warm-up batch).
+const BATCHES: usize = 4;
+
+/// The T15 experiment (registered as `"T15"`).
+pub struct T15;
+
+impl Experiment for T15 {
+    fn id(&self) -> &'static str {
+        "T15"
+    }
+
+    fn title(&self) -> &'static str {
+        "sparse: compact-frame warm sessions ≡ dense reference, bytes/group"
+    }
+
+    fn claim(&self) -> &'static str {
+        "per-group warm state over the member path closure (local-id subframes) is \
+         byte-identical to the dense universe-sized reference — receivers, every f64 \
+         share bit, and served cost, after every batch, on every layout family and \
+         both mechanisms"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "scenario",
+            "seeds",
+            "events",
+            "dense B/grp",
+            "sparse B/grp",
+            "sparse≡dense",
+        ]
+    }
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        Scenario::matrix(&LayoutFamily::ALL, &[64, 256], &[2], &[2.0, 4.0])
+            .into_iter()
+            .map(|sc| sc.with_groups(sc.n / 4))
+            .collect()
+    }
+
+    fn measure(&self, scenario: &Scenario, seed: u64) -> Obs {
+        let net = scenario_network(scenario, seed);
+        let ut = SubstrateBuilder::new(&net)
+            .tree(TreeKind::Spt)
+            .build_universal();
+        let net = ut.network();
+        let n_players = net.n_players();
+        let g = scenario.groups;
+        let broadcast = ut.multicast_cost(&net.non_source_stations());
+        let hi = (2.0 * broadcast / n_players as f64).max(EPS);
+        let trace = MultiGroupProcess::new(n_players, g, BATCHES, hi, seed ^ 0x7a15).generate();
+
+        let mut dense = MulticastService::new(&ut)
+            .with_threads(1)
+            .with_layout(SessionLayout::Dense);
+        let mut sparse = MulticastService::new(&ut)
+            .with_threads(0)
+            .with_layout(SessionLayout::Sparse);
+        for i in 0..g {
+            dense.add_group(GroupMechanism::alternating(i));
+            sparse.add_group(GroupMechanism::alternating(i));
+        }
+
+        let mut identical = true;
+        let mut events = 0usize;
+        for b in 0..trace.n_batches() {
+            let batches: Vec<Vec<_>> = trace
+                .groups
+                .iter()
+                .map(|gr| gr.trace.batches[b].clone())
+                .collect();
+            events += batches.iter().map(Vec::len).sum::<usize>();
+            let want = dense.step_all(&batches);
+            let got = sparse.step_all(&batches);
+            for (d, s) in want.iter().zip(&got) {
+                identical &= s.outcome == d.outcome;
+            }
+        }
+
+        vec![
+            events as f64,
+            dense.memory_bytes() as f64 / g as f64,
+            sparse.memory_bytes() as f64 / g as f64,
+            f64::from(identical),
+        ]
+    }
+
+    fn row(&self, scenario: &Scenario, obs: &[Obs]) -> RowSummary {
+        let identical = all_true(obs, 3);
+        RowSummary::gated(
+            vec![
+                scenario.label(),
+                obs.len().to_string(),
+                format!("{:.0}", mean(obs, 0)),
+                format!("{:.0}", mean(obs, 1)),
+                format!("{:.0}", mean(obs, 2)),
+                identical.to_string(),
+            ],
+            identical,
+        )
+    }
+
+    fn verdict(&self, rows: &[RowSummary]) -> String {
+        if rows.iter().all(|r| r.good) {
+            "compact-frame warm sessions are byte-identical to the dense reference on \
+             every layout family and both mechanisms, after every batch; warm bytes/group \
+             scale with the member closure (the 10× saving is measured at G = 4096 × \
+             n = 10⁵ in stream_slo, where the closure is ~10³ of 10⁵ stations)"
+                .into()
+        } else {
+            "MISMATCH".into()
+        }
+    }
+}

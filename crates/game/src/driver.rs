@@ -47,9 +47,13 @@ pub trait DropLoopMethod {
     /// Number of players.
     fn n_players(&self) -> usize;
 
-    /// Shares of the currently-active coalition: full-length vector,
-    /// zero outside the coalition. Called once per round.
-    fn round_shares(&mut self) -> Vec<f64>;
+    /// Write the currently-active coalition's shares into `out`: a
+    /// full-length vector, zero outside the coalition. Called once per
+    /// round with the **same driver-owned buffer** (the method clears
+    /// and refills it), so a warm engine runs the whole iteration
+    /// without a per-round allocation — the hot-loop fix the
+    /// `session_churn` bench leans on.
+    fn round_shares_into(&mut self, out: &mut Vec<f64>);
 
     /// Remove player `p` from the active coalition. Called once per
     /// dropped player, immediately after the round that dropped it.
@@ -59,14 +63,13 @@ pub trait DropLoopMethod {
     /// Called once, after the fixpoint round.
     fn served_cost(&mut self) -> f64;
 
-    /// The shares actually charged to the surviving coalition. Defaults
-    /// to the fixpoint round's shares (exact for methods whose
-    /// `round_shares` is already the canonical computation); methods
-    /// whose per-round shares come from a faster equivalent computation
-    /// override this with one exact final evaluation.
-    fn final_shares(&mut self, fixpoint_shares: Vec<f64>) -> Vec<f64> {
-        fixpoint_shares
-    }
+    /// Overwrite `shares` — on entry the fixpoint round's shares — with
+    /// the shares actually charged to the surviving coalition. The
+    /// default keeps the fixpoint shares (exact for methods whose
+    /// `round_shares_into` is already the canonical computation);
+    /// methods whose per-round shares come from a faster equivalent
+    /// computation override this with one exact final evaluation.
+    fn final_shares_into(&mut self, _shares: &mut Vec<f64>) {}
 }
 
 /// Run the Moulin–Shenker iteration `M(ξ)` \[37, 38\] over a
@@ -120,11 +123,15 @@ pub fn run_drop_loop_from(
         assert!(p < n, "initial coalition member {p} out of range");
         active[p] = true;
     }
+    // One share buffer for the whole run, refilled each round — the
+    // driver-side half of the allocation-free warm iteration.
+    let mut shares: Vec<f64> = Vec::with_capacity(n);
     loop {
         if n_active == 0 {
             return MechanismOutcome::empty(n);
         }
-        let shares = method.round_shares();
+        method.round_shares_into(&mut shares);
+        debug_assert_eq!(shares.len(), n, "round shares are full length");
         let mut dropped_any = false;
         for &p in initial {
             if active[p] && reported[p] < shares[p] - EPS {
@@ -136,10 +143,10 @@ pub fn run_drop_loop_from(
         }
         if !dropped_any {
             let receivers: Vec<usize> = initial.iter().copied().filter(|&p| active[p]).collect();
-            let fin = method.final_shares(shares);
+            method.final_shares_into(&mut shares);
             let mut final_shares = vec![0.0; n];
             for &p in &receivers {
-                final_shares[p] = fin[p];
+                final_shares[p] = shares[p];
             }
             let served_cost = method.served_cost();
             return MechanismOutcome {
@@ -176,13 +183,14 @@ mod tests {
             self.needs.len()
         }
 
-        fn round_shares(&mut self) -> Vec<f64> {
+        fn round_shares_into(&mut self, out: &mut Vec<f64>) {
             // Airport rule: sort active players by need; the increment
             // between consecutive needs is split among everyone at least
             // as demanding.
             let mut order: Vec<usize> = (0..self.needs.len()).filter(|&p| self.active[p]).collect();
             order.sort_by(|&a, &b| self.needs[a].total_cmp(&self.needs[b]).then(a.cmp(&b)));
-            let mut shares = vec![0.0; self.needs.len()];
+            out.clear();
+            out.resize(self.needs.len(), 0.0);
             let mut prev = 0.0;
             for (rank, &p) in order.iter().enumerate() {
                 let delta = self.needs[p] - prev;
@@ -190,10 +198,9 @@ mod tests {
                 let users = (order.len() - rank) as f64;
                 let slice = delta / users;
                 for &q in &order[rank..] {
-                    shares[q] += slice;
+                    out[q] += slice;
                 }
             }
-            shares
         }
 
         fn drop_player(&mut self, p: usize) {
@@ -293,16 +300,16 @@ mod tests {
             fn n_players(&self) -> usize {
                 2
             }
-            fn round_shares(&mut self) -> Vec<f64> {
-                vec![1.0, 2.0]
+            fn round_shares_into(&mut self, out: &mut Vec<f64>) {
+                out.clear();
+                out.extend([1.0, 2.0]);
             }
             fn drop_player(&mut self, _p: usize) {}
             fn served_cost(&mut self) -> f64 {
                 3.0
             }
-            fn final_shares(&mut self, fixpoint: Vec<f64>) -> Vec<f64> {
-                self.saw = Some(fixpoint.clone());
-                fixpoint
+            fn final_shares_into(&mut self, shares: &mut Vec<f64>) {
+                self.saw = Some(shares.clone());
             }
         }
         let mut m = Probe { saw: None };

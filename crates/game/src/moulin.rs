@@ -35,8 +35,8 @@ impl<M: CostSharingMethod> DropLoopMethod for MaskDropMethod<'_, M> {
         self.method.n_players()
     }
 
-    fn round_shares(&mut self) -> Vec<f64> {
-        self.method.shares(self.mask)
+    fn round_shares_into(&mut self, out: &mut Vec<f64>) {
+        *out = self.method.shares(self.mask);
     }
 
     fn drop_player(&mut self, p: usize) {

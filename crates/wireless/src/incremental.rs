@@ -49,7 +49,7 @@
 //! the naive per-round recomputation as the correctness reference; the
 //! property suite pins the incremental outcome to it byte for byte.
 
-use crate::substrate::NO_STATION;
+use crate::substrate::{NodeId, NO_STATION};
 use crate::universal::UniversalTree;
 use wmcs_game::{run_drop_loop, run_drop_loop_from, DropLoopMethod, MechanismOutcome};
 
@@ -78,14 +78,17 @@ pub struct IncrementalShapley {
     /// Is the station an active receiver?
     in_r: Vec<bool>,
     /// Active receivers in the station's universal-tree subtree;
-    /// `rb[v] > 0` ⟺ `v ∈ T(R) \ {source}`.
-    rb: Vec<usize>,
+    /// `rb[v] > 0` ⟺ `v ∈ T(R) \ {source}`. `u32` — counts are bounded
+    /// by the substrate's `n < u32::MAX` invariant, so the warm arrays
+    /// ride the same memory diet as the substrate's id state.
+    rb: Vec<u32>,
     /// Intrusive cost-ordered list of each station's children with
     /// `rb > 0` (`first_child[x]` → `next_sib` chain; `prev_sib` makes
-    /// unlinking O(1)).
-    first_child: Vec<usize>,
-    next_sib: Vec<usize>,
-    prev_sib: Vec<usize>,
+    /// unlinking O(1)). Compact [`NodeId`] links, [`NodeId::NONE`] ends
+    /// a chain — half the bytes of the former `usize` layout.
+    first_child: Vec<NodeId>,
+    next_sib: Vec<NodeId>,
+    prev_sib: Vec<NodeId>,
     /// Scratch: accumulated root-path share prefix per station.
     down: Vec<f64>,
     /// Scratch: per-station shares of the last round.
@@ -112,31 +115,31 @@ impl IncrementalShapley {
             in_r[r] = true;
         }
         // Subtree receiver counts, children before parents.
-        let mut rb = vec![0usize; n];
+        let mut rb = vec![0u32; n];
         for &v in sub.bfs_order().iter().rev() {
             let v = v.index();
-            let mut cnt = usize::from(in_r[v]);
+            let mut cnt = u32::from(in_r[v]);
             for &y in sub.sorted_children(v) {
                 cnt += rb[y.index()];
             }
             rb[v] = cnt;
         }
         // Link the active children of every station in cost order.
-        let mut first_child = vec![NONE; n];
-        let mut next_sib = vec![NONE; n];
-        let mut prev_sib = vec![NONE; n];
+        let mut first_child = vec![NodeId::NONE; n];
+        let mut next_sib = vec![NodeId::NONE; n];
+        let mut prev_sib = vec![NodeId::NONE; n];
         for v in 0..n {
-            let mut prev = NONE;
-            for y in sub.sorted_children(v).iter().map(|y| y.index()) {
-                if rb[y] == 0 {
+            let mut prev = NodeId::NONE;
+            for &y in sub.sorted_children(v) {
+                if rb[y.index()] == 0 {
                     continue;
                 }
-                if prev == NONE {
+                if prev.is_none() {
                     first_child[v] = y;
                 } else {
-                    next_sib[prev] = y;
+                    next_sib[prev.index()] = y;
                 }
-                prev_sib[y] = prev;
+                prev_sib[y.index()] = prev;
                 prev = y;
             }
         }
@@ -176,23 +179,24 @@ impl IncrementalShapley {
                 self.shares[x] = self.down[x];
             }
             // Receivers strictly below x: its own subtree count minus x.
-            let mut remaining = self.rb[x] - usize::from(self.in_r[x]);
+            let mut remaining = self.rb[x] - u32::from(self.in_r[x]);
             let mut prev_cost = 0.0;
             let mut acc = self.down[x];
             let mut y = self.first_child[x];
-            while y != NONE {
+            while !y.is_none() {
+                let yi = y.index();
                 // Cached tree-edge cost — bit-identical to net.cost(x, y).
-                let cost = sub.parent_cost(y);
+                let cost = sub.parent_cost(yi);
                 let delta = cost - prev_cost;
                 prev_cost = cost;
                 if delta > 0.0 {
                     debug_assert!(remaining > 0, "every active branch has a receiver");
                     acc += delta / remaining as f64;
                 }
-                self.down[y] = acc;
-                remaining -= self.rb[y];
-                self.stack.push(y);
-                y = self.next_sib[y];
+                self.down[yi] = acc;
+                remaining -= self.rb[yi];
+                self.stack.push(yi);
+                y = self.next_sib[yi];
             }
         }
         &self.shares
@@ -214,13 +218,13 @@ impl IncrementalShapley {
             if self.rb[v] == 0 {
                 // v left T(R): unlink it from p's active children.
                 let (pr, nx) = (self.prev_sib[v], self.next_sib[v]);
-                if pr == NONE {
+                if pr.is_none() {
                     self.first_child[p] = nx;
                 } else {
-                    self.next_sib[pr] = nx;
+                    self.next_sib[pr.index()] = nx;
                 }
-                if nx != NONE {
-                    self.prev_sib[nx] = pr;
+                if !nx.is_none() {
+                    self.prev_sib[nx.index()] = pr;
                 }
             }
             v = p;
@@ -254,27 +258,28 @@ impl IncrementalShapley {
                 // v entered T(R): splice it into p's active children just
                 // after its nearest active cost-order predecessor.
                 let kids = sub.sorted_children(p);
-                let mut pr = NONE;
-                for y in kids[..sub.pos_in_parent(v)].iter().rev().map(|y| y.index()) {
-                    if self.rb[y] > 0 {
+                let mut pr = NodeId::NONE;
+                for &y in kids[..sub.pos_in_parent(v)].iter().rev() {
+                    if self.rb[y.index()] > 0 {
                         pr = y;
                         break;
                     }
                 }
-                let nx = if pr == NONE {
+                let nx = if pr.is_none() {
                     self.first_child[p]
                 } else {
-                    self.next_sib[pr]
+                    self.next_sib[pr.index()]
                 };
+                let vid = NodeId::from_index(v);
                 self.prev_sib[v] = pr;
                 self.next_sib[v] = nx;
-                if pr == NONE {
-                    self.first_child[p] = v;
+                if pr.is_none() {
+                    self.first_child[p] = vid;
                 } else {
-                    self.next_sib[pr] = v;
+                    self.next_sib[pr.index()] = vid;
                 }
-                if nx != NONE {
-                    self.prev_sib[nx] = v;
+                if !nx.is_none() {
+                    self.prev_sib[nx.index()] = vid;
                 }
             }
             v = p;
@@ -295,6 +300,21 @@ impl IncrementalShapley {
     pub fn rounds(&self) -> usize {
         self.rounds
     }
+
+    /// Heap bytes of this engine's per-session state. The shared
+    /// substrate is *excluded*: it is allocated once per universe, not
+    /// per group, which is exactly the accounting the memory-diet
+    /// experiments need (`G` engines over one universe pay `G ×` this
+    /// figure plus one substrate).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.in_r.capacity() * size_of::<bool>()
+            + self.rb.capacity() * size_of::<u32>()
+            + (self.first_child.capacity() + self.next_sib.capacity() + self.prev_sib.capacity())
+                * size_of::<NodeId>()
+            + (self.down.capacity() + self.shares.capacity()) * size_of::<f64>()
+            + self.stack.capacity() * size_of::<usize>()
+    }
 }
 
 /// Player-indexed [`DropLoopMethod`] over a borrowed incremental engine:
@@ -311,14 +331,13 @@ impl DropLoopMethod for PlayerAdapter<'_> {
         self.engine.ut.network().n_players()
     }
 
-    fn round_shares(&mut self) -> Vec<f64> {
+    fn round_shares_into(&mut self, out: &mut Vec<f64>) {
         let sub = self.engine.ut.substrate().clone();
         let net = sub.network();
         let n = net.n_players();
         let by_station = self.engine.round_shares_by_station();
-        (0..n)
-            .map(|p| by_station[net.station_of_player(p)])
-            .collect()
+        out.clear();
+        out.extend((0..n).map(|p| by_station[net.station_of_player(p)]));
     }
 
     fn drop_player(&mut self, p: usize) {
@@ -332,7 +351,7 @@ impl DropLoopMethod for PlayerAdapter<'_> {
             .multicast_cost(&self.engine.active_stations())
     }
 
-    fn final_shares(&mut self, _fixpoint: Vec<f64>) -> Vec<f64> {
+    fn final_shares_into(&mut self, shares: &mut Vec<f64>) {
         // One exact evaluation of the reference share computation on the
         // surviving set, so the charged shares are byte-identical to the
         // naive driver's.
@@ -341,9 +360,8 @@ impl DropLoopMethod for PlayerAdapter<'_> {
             .engine
             .ut
             .shapley_shares(&self.engine.active_stations());
-        (0..net.n_players())
-            .map(|p| by_station[net.station_of_player(p)])
-            .collect()
+        shares.clear();
+        shares.extend((0..net.n_players()).map(|p| by_station[net.station_of_player(p)]));
     }
 }
 
@@ -466,8 +484,10 @@ pub struct NetWorthOracle {
     h: Vec<f64>,
     /// The chosen best prefix value at `v` (`h[v] = own(v) + best[v]`).
     best: Vec<f64>,
-    /// Chosen prefix length at `v` (0 = serve no child branch).
-    choice: Vec<usize>,
+    /// Chosen prefix length at `v` (0 = serve no child branch). `u32` —
+    /// bounded by the station's degree, so it rides the same memory diet
+    /// as the link arrays.
+    choice: Vec<u32>,
     /// `pre[offset(v) + j] = max(0, val_0 … val_{j−1})` — flat per-edge
     /// array indexed through the substrate's CSR offsets (one allocation
     /// instead of a `Vec<Vec<f64>>` per oracle; the substrate refactor's
@@ -489,7 +509,7 @@ impl NetWorthOracle {
             u: u.to_vec(),
             h: vec![0.0f64; n],
             best: vec![0.0f64; n],
-            choice: vec![0usize; n],
+            choice: vec![0u32; n],
             pre: vec![0.0f64; n_edges],
             suf: vec![f64::NEG_INFINITY; n_edges],
         };
@@ -544,7 +564,7 @@ impl NetWorthOracle {
         }
         self.h[v] = own + b;
         self.best[v] = b;
-        self.choice[v] = bj;
+        self.choice[v] = u32::try_from(bj).expect("child count fits u32");
     }
 
     /// Replace station `x`'s utility and repair the DP along `x`'s root
@@ -609,7 +629,7 @@ impl NetWorthOracle {
             stack.extend(
                 sub.sorted_children(v)
                     .iter()
-                    .take(self.choice[v])
+                    .take(self.choice[v] as usize)
                     .map(|c| c.index()),
             );
         }
@@ -642,6 +662,20 @@ impl NetWorthOracle {
             v = p;
         }
         hv
+    }
+
+    /// Heap bytes of this oracle's per-session state (the shared
+    /// substrate is excluded, exactly as in
+    /// [`IncrementalShapley::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.u.capacity()
+            + self.h.capacity()
+            + self.best.capacity()
+            + self.pre.capacity()
+            + self.suf.capacity())
+            * size_of::<f64>()
+            + self.choice.capacity() * size_of::<u32>()
     }
 }
 

